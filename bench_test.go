@@ -1,0 +1,124 @@
+package samft
+
+// One benchmark per paper table/figure plus the ablations; each runs the
+// corresponding experiment once per iteration and reports the modeled
+// metrics the paper's tables contain. Shapes (who wins, overhead trends)
+// are the reproduction target; see EXPERIMENTS.md.
+
+import (
+	"testing"
+
+	"samft/internal/experiments"
+	"samft/internal/ft"
+)
+
+func benchFigure(b *testing.B, app experiments.AppKind) {
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.RunFigure(app, experiments.Small, []int{1, 2, 4, 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := len(fig.NoFT) - 1
+		b.ReportMetric(fig.NoFT[last].Speedup, "speedup-noFT-8p")
+		b.ReportMetric(fig.WithFT[last].Speedup, "speedup-FT-8p")
+		if fig.NoFT[last].ModeledSec > 0 {
+			b.ReportMetric(100*(fig.WithFT[last].ModeledSec-fig.NoFT[last].ModeledSec)/fig.NoFT[last].ModeledSec, "FT-ovhd-%-8p")
+		}
+		b.ReportMetric(fig.WithFT[last].Report.CheckpointsPerProcPerSec(), "ckpts/proc/s")
+		b.ReportMetric(fig.WithFT[last].Report.PctSendsCausingCheckpoint(), "sends-ckpt-%")
+	}
+}
+
+// BenchmarkFigure3GPS regenerates Figure 3: GPS speedup with and without
+// fault tolerance, plus its statistics table.
+func BenchmarkFigure3GPS(b *testing.B) { benchFigure(b, experiments.GPS) }
+
+// BenchmarkFigure4Water regenerates Figure 4: Water speedup ± FT.
+func BenchmarkFigure4Water(b *testing.B) { benchFigure(b, experiments.Water) }
+
+// BenchmarkFigure5BarnesHut regenerates Figure 5: Barnes-Hut speedup ± FT.
+func BenchmarkFigure5BarnesHut(b *testing.B) { benchFigure(b, experiments.Barnes) }
+
+// BenchmarkRecovery measures E4: wall-clock recovery latency after a kill.
+func BenchmarkRecovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Run(experiments.Spec{
+			App: experiments.Water, N: 4, Policy: ft.PolicySAM,
+			KillRank: 2, KillStep: 2,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.RecoverySec*1000, "recovery-ms")
+	}
+}
+
+// BenchmarkAblationNaivePolicy runs A1: SAM-informed checkpointing vs a
+// conventional DSM's checkpoint-on-every-send, on Water.
+func BenchmarkAblationNaivePolicy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := experiments.Run(experiments.Spec{App: experiments.Water, N: 4, Policy: ft.PolicySAM})
+		if err != nil {
+			b.Fatal(err)
+		}
+		n, err := experiments.Run(experiments.Spec{App: experiments.Water, N: 4, Policy: ft.PolicyNaive})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(s.Report.CheckpointsPerProcPerSec(), "ckpts/ps-sam")
+		b.ReportMetric(n.Report.CheckpointsPerProcPerSec(), "ckpts/ps-naive")
+		if s.ModeledSec > 0 {
+			b.ReportMetric(n.ModeledSec/s.ModeledSec, "naive/sam-time")
+		}
+	}
+}
+
+// BenchmarkAblationDegree runs A2: replication degree 1 vs 2 on GPS.
+func BenchmarkAblationDegree(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d1, err := experiments.Run(experiments.Spec{App: experiments.GPS, N: 4, Policy: ft.PolicySAM, Degree: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		d2, err := experiments.Run(experiments.Spec{App: experiments.GPS, N: 4, Policy: ft.PolicySAM, Degree: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(d1.Report.Total.ReplicaBytes), "replica-B-deg1")
+		b.ReportMetric(float64(d2.Report.Total.ReplicaBytes), "replica-B-deg2")
+	}
+}
+
+// BenchmarkAblationEagerFree runs A4: lazy freeing via the §4.3 vectors vs
+// eager round-trips, on Water.
+func BenchmarkAblationEagerFree(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		lazy, err := experiments.Run(experiments.Spec{App: experiments.Water, N: 4, Policy: ft.PolicySAM})
+		if err != nil {
+			b.Fatal(err)
+		}
+		eager, err := experiments.Run(experiments.Spec{App: experiments.Water, N: 4, Policy: ft.PolicySAM, Eager: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(lazy.Report.ForceCkptMsgsPerProcPerSec(), "force-msgs/ps-lazy")
+		b.ReportMetric(eager.Report.ForceCkptMsgsPerProcPerSec(), "force-msgs/ps-eager")
+	}
+}
+
+// BenchmarkBaselineConsistent runs A3: the paper's method vs consistent
+// global checkpointing to disk, on GPS.
+func BenchmarkBaselineConsistent(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		samRes, err := experiments.Run(experiments.Spec{App: experiments.GPS, N: 4, Policy: ft.PolicySAM})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cons, err := experiments.Run(experiments.Spec{App: experiments.GPS, N: 4, Policy: ft.PolicyOff, Consistent: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(samRes.ModeledSec, "T-samft-s")
+		b.ReportMetric(cons.ModeledSec, "T-consistent-s")
+	}
+}

@@ -1,0 +1,201 @@
+// Command ftbench regenerates the paper's evaluation: the speedup figures
+// for GPS, Water, and Barnes-Hut with and without fault tolerance
+// (Figures 3–5 and their statistics tables), the recovery-time result,
+// and the ablations from DESIGN.md (naive checkpointing policy,
+// replication degree, eager freeing, and the consistent-global-checkpoint
+// baseline).
+//
+// Usage:
+//
+//	ftbench -exp all            # everything, small scale
+//	ftbench -exp gps -scale paper -procs 1,2,4,8
+//	ftbench -exp recovery
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"samft/internal/experiments"
+	"samft/internal/ft"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: gps|water|barnes|recovery|ablation-naive|ablation-degree|ablation-force|baseline-consistent|all")
+	scaleFlag := flag.String("scale", "small", "workload scale: small|paper")
+	procsFlag := flag.String("procs", "1,2,4,8", "comma-separated processor counts")
+	flag.Parse()
+
+	scale := experiments.Small
+	if *scaleFlag == "paper" {
+		scale = experiments.Paper
+	}
+	procs, err := parseProcs(*procsFlag)
+	if err != nil {
+		fatal(err)
+	}
+
+	run := func(name string, f func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		if err := f(); err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+	}
+
+	run("gps", func() error { return figure(experiments.GPS, scale, procs) })
+	run("water", func() error { return figure(experiments.Water, scale, procs) })
+	run("barnes", func() error { return figure(experiments.Barnes, scale, procs) })
+	run("recovery", func() error { return recovery(scale) })
+	run("ablation-naive", func() error { return ablationNaive(scale, procs) })
+	run("ablation-degree", func() error { return ablationDegree(scale) })
+	run("ablation-force", func() error { return ablationForce(scale) })
+	run("baseline-consistent", func() error { return baselineConsistent(scale, procs) })
+}
+
+func parseProcs(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad proc count %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ftbench:", err)
+	os.Exit(1)
+}
+
+// figure reproduces one of Figures 3–5.
+func figure(app experiments.AppKind, scale experiments.Scale, procs []int) error {
+	fig, err := experiments.RunFigure(app, scale, procs)
+	if err != nil {
+		return err
+	}
+	fig.Print(os.Stdout)
+	fmt.Println()
+	return nil
+}
+
+// recovery reproduces the "recovery takes on the order of a few seconds"
+// result (E4): kill one of the processes mid-run for each application.
+func recovery(scale experiments.Scale) error {
+	fmt.Println("== Recovery (kill one process mid-run, E4) ==")
+	fmt.Printf("%-12s %8s %10s %14s %12s\n", "app", "procs", "killed", "recovery(s)", "answer-ok")
+	for _, app := range []experiments.AppKind{experiments.GPS, experiments.Water, experiments.Barnes} {
+		base, err := experiments.Run(experiments.Spec{App: app, N: 4, Policy: ft.PolicyOff, Scale: scale})
+		if err != nil {
+			return err
+		}
+		res, err := experiments.Run(experiments.Spec{
+			App: app, N: 4, Policy: ft.PolicySAM, Scale: scale,
+			KillRank: 2, KillStep: 2,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-12s %8d %10s %14.3f %12v\n", app, 4, "rank 2", res.RecoverySec, res.Answer == base.Answer)
+	}
+	fmt.Println()
+	return nil
+}
+
+// ablationNaive compares the paper's SAM-informed checkpoint policy with
+// a conventional DSM's checkpoint-on-every-send (A1).
+func ablationNaive(scale experiments.Scale, procs []int) error {
+	fmt.Println("== Ablation A1: SAM-informed policy vs naive every-send checkpointing ==")
+	fmt.Printf("%-12s %6s %14s %14s %16s %16s\n", "app", "procs", "T(sam) s", "T(naive) s", "ckpts/ps (sam)", "ckpts/ps (naive)")
+	for _, app := range []experiments.AppKind{experiments.GPS, experiments.Water, experiments.Barnes} {
+		for _, n := range procs {
+			if n < 2 {
+				continue
+			}
+			samRes, err := experiments.Run(experiments.Spec{App: app, N: n, Policy: ft.PolicySAM, Scale: scale})
+			if err != nil {
+				return err
+			}
+			naive, err := experiments.Run(experiments.Spec{App: app, N: n, Policy: ft.PolicyNaive, Scale: scale})
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-12s %6d %14.4f %14.4f %16.3f %16.3f\n", app, n,
+				samRes.ModeledSec, naive.ModeledSec,
+				samRes.Report.CheckpointsPerProcPerSec(), naive.Report.CheckpointsPerProcPerSec())
+		}
+	}
+	fmt.Println()
+	return nil
+}
+
+// ablationDegree varies the replication degree n of §4.2 (A2).
+func ablationDegree(scale experiments.Scale) error {
+	fmt.Println("== Ablation A2: replication degree (GPS, 4 procs) ==")
+	fmt.Printf("%8s %14s %16s %14s\n", "degree", "T(FT) s", "replica bytes", "ckpts/proc/s")
+	for _, d := range []int{1, 2, 3} {
+		res, err := experiments.Run(experiments.Spec{App: experiments.GPS, N: 4, Policy: ft.PolicySAM, Degree: d, Scale: scale})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%8d %14.4f %16d %14.3f\n", d, res.ModeledSec,
+			res.Report.Total.ReplicaBytes, res.Report.CheckpointsPerProcPerSec())
+	}
+	fmt.Println()
+	return nil
+}
+
+// ablationForce compares lazy freeing via the §4.3 vectors with the eager
+// round-trip variant (A4).
+func ablationForce(scale experiments.Scale) error {
+	fmt.Println("== Ablation A4: lazy free (T/C/D vectors) vs eager round-trips (Water, 4 procs) ==")
+	fmt.Printf("%8s %14s %18s %16s\n", "mode", "T(FT) s", "force-msgs/ps", "forced/proc/s")
+	for _, eager := range []bool{false, true} {
+		res, err := experiments.Run(experiments.Spec{App: experiments.Water, N: 4, Policy: ft.PolicySAM, Eager: eager, Scale: scale})
+		if err != nil {
+			return err
+		}
+		mode := "lazy"
+		if eager {
+			mode = "eager"
+		}
+		fmt.Printf("%8s %14.4f %18.4f %16.4f\n", mode, res.ModeledSec,
+			res.Report.ForceCkptMsgsPerProcPerSec(), res.Report.ForcedCkptsPerProcPerSec())
+	}
+	fmt.Println()
+	return nil
+}
+
+// baselineConsistent compares against consistent global checkpointing to
+// disk (A3, the Orca-style baseline of §6).
+func baselineConsistent(scale experiments.Scale, procs []int) error {
+	fmt.Println("== Baseline A3: paper's method vs consistent global checkpointing to disk ==")
+	fmt.Printf("%-12s %6s %14s %18s\n", "app", "procs", "T(sam-ft) s", "T(consistent) s")
+	// Water is excluded: its processes execute uneven step counts (dynamic
+	// task stealing), which the lock-step barrier baseline cannot handle —
+	// itself an illustration of why the paper avoids global coordination.
+	for _, app := range []experiments.AppKind{experiments.GPS, experiments.Barnes} {
+		for _, n := range procs {
+			if n < 2 {
+				continue
+			}
+			samRes, err := experiments.Run(experiments.Spec{App: app, N: n, Policy: ft.PolicySAM, Scale: scale})
+			if err != nil {
+				return err
+			}
+			cons, err := experiments.Run(experiments.Spec{App: app, N: n, Policy: ft.PolicyOff, Consistent: true, Scale: scale})
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-12s %6d %14.4f %18.4f\n", app, n, samRes.ModeledSec, cons.ModeledSec)
+		}
+	}
+	fmt.Println()
+	return nil
+}

@@ -1,0 +1,71 @@
+// Command samrun runs one of the paper's applications on the simulated
+// cluster with configurable size and fault-tolerance policy, printing the
+// application answer, modeled runtime, and FT statistics.
+//
+// Usage:
+//
+//	samrun -app water -n 8 -ft sam
+//	samrun -app barnes -n 4 -ft off -scale paper
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"samft/internal/experiments"
+	"samft/internal/ft"
+)
+
+func main() {
+	appFlag := flag.String("app", "gps", "application: gps|water|barnes")
+	n := flag.Int("n", 4, "number of simulated workstations")
+	ftFlag := flag.String("ft", "sam", "fault tolerance: off|sam|naive")
+	scaleFlag := flag.String("scale", "small", "workload scale: small|paper")
+	degree := flag.Int("degree", 1, "replication degree")
+	kill := flag.Int("kill", -1, "rank to kill mid-run (-1: none)")
+	flag.Parse()
+
+	spec := experiments.Spec{N: *n, Degree: *degree}
+	switch *appFlag {
+	case "gps":
+		spec.App = experiments.GPS
+	case "water":
+		spec.App = experiments.Water
+	case "barnes":
+		spec.App = experiments.Barnes
+	default:
+		fmt.Fprintln(os.Stderr, "unknown app:", *appFlag)
+		os.Exit(2)
+	}
+	switch *ftFlag {
+	case "off":
+		spec.Policy = ft.PolicyOff
+	case "sam":
+		spec.Policy = ft.PolicySAM
+	case "naive":
+		spec.Policy = ft.PolicyNaive
+	default:
+		fmt.Fprintln(os.Stderr, "unknown ft policy:", *ftFlag)
+		os.Exit(2)
+	}
+	if *scaleFlag == "paper" {
+		spec.Scale = experiments.Paper
+	}
+	if *kill >= 0 {
+		spec.KillRank = *kill
+		spec.KillStep = 2
+	}
+
+	res, err := experiments.Run(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "samrun:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("app=%v n=%d ft=%v answer=%.6f\n", spec.App, spec.N, spec.Policy, res.Answer)
+	fmt.Printf("modeled time: %.4f s (wall %.2f s)\n", res.ModeledSec, res.WallSec)
+	fmt.Printf("stats: %s\n", res.Report)
+	if res.RecoverySec > 0 {
+		fmt.Printf("recovery completed %.3f s after the kill\n", res.RecoverySec)
+	}
+}

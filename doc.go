@@ -1,0 +1,10 @@
+// Package samft is a from-scratch Go reproduction of "Transparent Fault
+// Tolerance for Parallel Applications on Networks of Workstations"
+// (Scales & Lam, USENIX 1996): the SAM shared-object system, its
+// replication-through-caching fault tolerance, the PVM3-style substrate,
+// the Jade task layer, and the paper's three applications (GPS, Water,
+// Barnes-Hut), all running on a simulated workstation cluster.
+//
+// See README.md for the layout and EXPERIMENTS.md for the reproduction of
+// every table and figure.
+package samft

@@ -1,0 +1,47 @@
+// Runs the paper's GPS application (genetic programming for the
+// solvent-exposure regression) on a simulated 4-workstation cluster with
+// fault tolerance, printing the best evolved fitness and the paper's
+// statistics rows.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"samft/internal/apps/gps"
+	"samft/internal/cluster"
+	"samft/internal/ft"
+	"samft/internal/sam"
+)
+
+func main() {
+	params := gps.DefaultParams()
+	params.Population = 200
+	params.Generations = 6
+
+	const n = 4
+	best := make(chan float64, 8)
+	c := cluster.New(cluster.Config{
+		N:      n,
+		Policy: ft.PolicySAM,
+		AppFactory: func(rank int) sam.App {
+			a := gps.New(rank, n, params)
+			if rank == 0 {
+				a.OnResult = func(v float64) {
+					select {
+					case best <- v:
+					default:
+					}
+				}
+			}
+			return a
+		},
+	})
+	rep, err := c.Run(2 * time.Minute)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("best RMS error: %.4f\n", <-best)
+	fmt.Printf("stats: %s\n", rep)
+}

@@ -1,0 +1,3 @@
+module samft
+
+go 1.22

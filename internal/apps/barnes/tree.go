@@ -1,0 +1,222 @@
+// Package barnes reproduces the paper's Barnes-Hut application: an
+// O(n log n) hierarchical n-body simulation (Barnes & Hut 1986) written in
+// a shared-memory style on SAM. The headline run simulates 8000 bodies.
+//
+// The processes cooperate on the shared tree: every step each process
+// publishes its body partition as a value and folds its partition's mass
+// moments into shared per-octant accumulators (the cooperative build —
+// fine-grain nonreproducible traffic), then computes forces for its
+// partition against a locally assembled tree, exploiting the locality SAM's
+// caching provides. The fine grain is exactly why the paper measures the
+// highest fault-tolerance overhead on this application.
+package barnes
+
+import (
+	"math"
+
+	"samft/internal/codec"
+)
+
+// Body is one particle.
+type Body struct {
+	Pos  [3]float64
+	Vel  [3]float64
+	Mass float64
+}
+
+// Cell is one octree node: either an internal cell with up to 8 children
+// or a leaf holding a single body index.
+type Cell struct {
+	Center [3]float64 // center of mass
+	Mass   float64
+	Size   float64 // side length of the cube this cell covers
+	Kids   []*Cell
+	Leaf   bool
+	Body   int32
+}
+
+func init() {
+	codec.Register("barnes.Body", Body{})
+	codec.Register("barnes.Cell", Cell{})
+	codec.Register("barnes.Partition", Partition{})
+	codec.Register("barnes.Moments", Moments{})
+	codec.Register("barnes.state", State{})
+}
+
+// Partition is the per-rank body slice published each step.
+type Partition struct {
+	Rank   int64
+	Step   int64
+	Lo, Hi int64
+	Bodies []Body
+}
+
+// Moments is the shared accumulator per octant: the cooperative top of
+// the tree. Every process folds its partition's mass moments in.
+type Moments struct {
+	Count int64
+	Mass  float64
+	// Weighted position sum; center of mass = Sum/Mass.
+	Sum [3]float64
+}
+
+// State is the (empty) private state: bodies live in SAM values.
+type State struct{ X int64 }
+
+// treeBuilder assembles an octree over a body set.
+type treeBuilder struct {
+	bodies []Body
+	root   *Cell
+}
+
+// BuildTree constructs an octree over all bodies within a cube of the
+// given size anchored at the origin.
+func BuildTree(bodies []Body, size float64) *Cell {
+	root := &Cell{Size: size, Body: -1}
+	tb := &treeBuilder{bodies: bodies, root: root}
+	for i := range bodies {
+		tb.insert(root, [3]float64{size / 2, size / 2, size / 2}, int32(i), 0)
+	}
+	tb.summarize(root)
+	return root
+}
+
+const maxTreeDepth = 40
+
+// insert places body b into the subtree rooted at c with center mid.
+func (tb *treeBuilder) insert(c *Cell, mid [3]float64, b int32, depth int) {
+	if c.Kids == nil && !c.Leaf && c.Body < 0 {
+		// Empty cell: take the body as a leaf.
+		c.Leaf = true
+		c.Body = b
+		return
+	}
+	if c.Leaf {
+		if depth >= maxTreeDepth {
+			// Coincident bodies: merge into the leaf's aggregate at
+			// summarize time by chaining into kid 0.
+			c.Kids = append(c.Kids, &Cell{Size: c.Size / 2, Leaf: true, Body: b})
+			return
+		}
+		// Split: push the resident body down, then insert the new one.
+		old := c.Body
+		c.Leaf = false
+		c.Body = -1
+		c.Kids = make([]*Cell, 8)
+		tb.insertChild(c, mid, old, depth)
+		tb.insertChild(c, mid, b, depth)
+		return
+	}
+	tb.insertChild(c, mid, b, depth)
+}
+
+func (tb *treeBuilder) insertChild(c *Cell, mid [3]float64, b int32, depth int) {
+	pos := tb.bodies[b].Pos
+	idx := 0
+	q := c.Size / 4
+	var nmid [3]float64
+	for d := 0; d < 3; d++ {
+		if pos[d] >= mid[d] {
+			idx |= 1 << d
+			nmid[d] = mid[d] + q
+		} else {
+			nmid[d] = mid[d] - q
+		}
+	}
+	if c.Kids == nil {
+		c.Kids = make([]*Cell, 8)
+	}
+	if c.Kids[idx] == nil {
+		c.Kids[idx] = &Cell{Size: c.Size / 2, Body: -1}
+	}
+	tb.insert(c.Kids[idx], nmid, b, depth+1)
+}
+
+// summarize computes mass and center-of-mass bottom-up.
+func (tb *treeBuilder) summarize(c *Cell) {
+	if c.Leaf && len(c.Kids) == 0 {
+		b := tb.bodies[c.Body]
+		c.Mass = b.Mass
+		c.Center = b.Pos
+		return
+	}
+	var mass float64
+	var sum [3]float64
+	if c.Leaf {
+		b := tb.bodies[c.Body]
+		mass = b.Mass
+		for d := 0; d < 3; d++ {
+			sum[d] = b.Pos[d] * b.Mass
+		}
+	}
+	for _, k := range c.Kids {
+		if k == nil {
+			continue
+		}
+		tb.summarize(k)
+		mass += k.Mass
+		for d := 0; d < 3; d++ {
+			sum[d] += k.Center[d] * k.Mass
+		}
+	}
+	c.Mass = mass
+	if mass > 0 {
+		for d := 0; d < 3; d++ {
+			c.Center[d] = sum[d] / mass
+		}
+	}
+}
+
+// Accel computes the acceleration on a body at pos using the opening
+// criterion theta; softening eps avoids singularities.
+func (c *Cell) Accel(pos [3]float64, theta, eps float64) [3]float64 {
+	var acc [3]float64
+	c.accel(pos, theta, eps, &acc)
+	return acc
+}
+
+func (c *Cell) accel(pos [3]float64, theta, eps float64, acc *[3]float64) {
+	if c == nil || c.Mass == 0 {
+		return
+	}
+	dx := c.Center[0] - pos[0]
+	dy := c.Center[1] - pos[1]
+	dz := c.Center[2] - pos[2]
+	r2 := dx*dx + dy*dy + dz*dz + eps
+	if c.Leaf && len(c.Kids) == 0 || c.Size*c.Size < theta*theta*r2 {
+		if r2 < eps*1.0001 && c.Leaf {
+			return // self-interaction
+		}
+		inv := c.Mass / (r2 * math.Sqrt(r2))
+		acc[0] += dx * inv
+		acc[1] += dy * inv
+		acc[2] += dz * inv
+		return
+	}
+	if c.Leaf {
+		// Overflowed leaf chain (coincident bodies).
+		inv := c.Mass / (r2 * math.Sqrt(r2))
+		acc[0] += dx * inv
+		acc[1] += dy * inv
+		acc[2] += dz * inv
+		return
+	}
+	for _, k := range c.Kids {
+		k.accel(pos, theta, eps, acc)
+	}
+}
+
+// CountBodies returns the number of bodies in the subtree (tests).
+func (c *Cell) CountBodies() int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	if c.Leaf {
+		n = 1
+	}
+	for _, k := range c.Kids {
+		n += k.CountBodies()
+	}
+	return n
+}

@@ -1,0 +1,241 @@
+package gps
+
+import (
+	"sort"
+
+	"samft/internal/codec"
+	"samft/internal/sam"
+	"samft/internal/xrand"
+)
+
+// Params configures a GPS run. The paper's headline experiment evolves a
+// population of 1000 individuals.
+type Params struct {
+	Population  int    // total individuals across all processes
+	Generations int64  // evolution length
+	TopK        int    // migrants published per process per generation
+	Samples     int    // dataset size
+	MaxDepth    int    // tree depth bound
+	Seed        uint64 // master seed (dataset + per-(rank,gen) streams)
+	// EvalCostUS is the modeled compute cost charged per node evaluation
+	// per sample, reproducing the paper's "much computation per
+	// individual" coarse grain.
+	EvalCostUS float64
+}
+
+// DefaultParams returns the paper-scale configuration.
+func DefaultParams() Params {
+	return Params{
+		Population:  1000,
+		Generations: 10,
+		TopK:        4,
+		Samples:     64,
+		MaxDepth:    7,
+		Seed:        1996,
+		EvalCostUS:  0.05,
+	}
+}
+
+// State is the application's checkpointed private state: the local shard.
+type State struct {
+	Pop []Individual
+}
+
+func init() { codec.Register("gps.State", State{}) }
+
+// Names used in SAM's global name space.
+const (
+	famShard = 20 // value: per-(gen,rank) migrant shard
+	famBest  = 21 // accumulator: global best
+	famFinal = 22 // value: per-rank final result
+)
+
+func shardName(gen int64, rank int) sam.Name { return sam.MkName(famShard, int(gen), rank) }
+func bestName() sam.Name                     { return sam.MkName(famBest, 0, 0) }
+func finalName(rank int) sam.Name            { return sam.MkName(famFinal, rank, 0) }
+
+// App is the per-process GPS application. Construct with New.
+type App struct {
+	rank, n int
+	p       Params
+	data    *Dataset
+	st      State
+	// OnResult, when set on rank 0's instance, receives the final global
+	// best fitness (used by experiments; may be called again on replay).
+	OnResult func(best float64)
+}
+
+// New builds the application for one rank.
+func New(rank, n int, p Params) *App {
+	return &App{rank: rank, n: n, p: p, data: NewDataset(p.Seed, p.Samples)}
+}
+
+// Init seeds the local shard and (on rank 0) the global-best accumulator.
+func (a *App) Init(p *sam.Proc) {
+	shard := a.p.Population / a.n
+	if a.rank < a.p.Population%a.n {
+		shard++
+	}
+	r := xrand.At(a.p.Seed, int64(a.rank), -1)
+	a.st.Pop = make([]Individual, shard)
+	for i := range a.st.Pop {
+		t := RandomTree(r, NVars, a.p.MaxDepth)
+		a.st.Pop[i] = Individual{Tree: t, Fitness: a.data.Fitness(t)}
+	}
+	if a.rank == 0 {
+		p.CreateAccum(bestName(), &Best{Fitness: 1e18})
+	}
+}
+
+// Step runs one generation. Step g:
+//  1. publish this process's top-K of generation g-1,
+//  2. read every other process's top-K (cache-served after the first use),
+//  3. breed and evaluate the next shard.
+//
+// After the last generation, one extra step per process publishes its
+// final champion; rank 0 then reduces them through the accumulator.
+func (a *App) Step(p *sam.Proc, step int64) bool {
+	switch {
+	case step <= a.p.Generations:
+		a.generation(p, step)
+		return true
+	case step == a.p.Generations+1:
+		// Publish the local champion (consumed once, by rank 0).
+		best := a.champion()
+		p.CreateValue(finalName(a.rank), &Shard{Rank: int64(a.rank), Tops: []Individual{best}}, 1)
+		return true
+	case step == a.p.Generations+2 && a.rank == 0:
+		// Collect every champion first, then take the accumulator: holding
+		// the lock while waiting on values from processes that still need
+		// the lock would deadlock.
+		var champ Individual
+		found := false
+		for r := 0; r < a.n; r++ {
+			s := p.UseValue(finalName(r)).(*Shard)
+			if len(s.Tops) > 0 && (!found || s.Tops[0].Fitness < champ.Fitness) {
+				found = true
+				champ = s.Tops[0]
+			}
+			p.DoneValue(finalName(r))
+		}
+		b := p.UpdateAccum(bestName()).(*Best)
+		if found && (!b.Found || champ.Fitness < b.Fitness) {
+			b.Found = true
+			b.Fitness = champ.Fitness
+			b.Tree = champ.Tree
+		}
+		final := b.Fitness
+		p.ReleaseAccum(bestName())
+		if a.OnResult != nil {
+			a.OnResult(final)
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+func (a *App) champion() Individual {
+	best := a.st.Pop[0]
+	for _, ind := range a.st.Pop[1:] {
+		if ind.Fitness < best.Fitness {
+			best = ind
+		}
+	}
+	return best
+}
+
+// generation performs one round of migrate-select-breed-evaluate.
+func (a *App) generation(p *sam.Proc, gen int64) {
+	// 1. Publish migrants: our current top-K. Every other process reads
+	// the value exactly once.
+	tops := a.topK(a.p.TopK)
+	p.CreateValue(shardName(gen, a.rank), &Shard{Rank: int64(a.rank), Gen: gen, Tops: tops}, int64(a.n-1))
+	for r := 0; r < a.n; r++ {
+		if r != a.rank {
+			p.Push(shardName(gen, a.rank), r) // overlap migrant delivery with breeding
+		}
+	}
+
+	// 2. Collect migrants from everyone else.
+	var migrants []Individual
+	for r := 0; r < a.n; r++ {
+		if r == a.rank {
+			continue
+		}
+		s := p.UseValue(shardName(gen, r)).(*Shard)
+		migrants = append(migrants, s.Tops...)
+		p.DoneValue(shardName(gen, r))
+	}
+
+	// 3. Breed the next shard from (local population + migrants) with
+	// tournament selection, crossover, and mutation; deterministic given
+	// (seed, rank, gen) so a recovery replay reproduces it exactly.
+	r := xrand.At(a.p.Seed, int64(a.rank), gen)
+	pool := append(append([]Individual(nil), a.st.Pop...), migrants...)
+	next := make([]Individual, len(a.st.Pop))
+	evalCost := 0.0
+	for i := range next {
+		var t *Node
+		switch r.Intn(10) {
+		case 0: // mutation
+			t = Mutate(r, a.tournament(r, pool).Tree, NVars, a.p.MaxDepth)
+		case 1: // reproduction
+			t = a.tournament(r, pool).Tree.Clone()
+		default: // crossover
+			t = Crossover(r, a.tournament(r, pool).Tree, a.tournament(r, pool).Tree, a.p.MaxDepth)
+		}
+		next[i] = Individual{Tree: t, Fitness: a.data.Fitness(t)}
+		evalCost += float64(t.Size()*len(a.data.X)) * a.p.EvalCostUS
+	}
+	a.st.Pop = next
+	p.Compute(evalCost)
+
+	// 4. Occasionally refresh the monitoring accumulator (a chaotic-read
+	// consumer could watch progress); this is the only nonreproducible
+	// data GPS produces.
+	if gen == a.p.Generations {
+		b := p.UpdateAccum(bestName()).(*Best)
+		if c := a.champion(); !b.Found || c.Fitness < b.Fitness {
+			b.Found = true
+			b.Fitness = c.Fitness
+			b.Tree = c.Tree
+		}
+		p.ReleaseAccum(bestName())
+	}
+}
+
+func (a *App) topK(k int) []Individual {
+	idx := make([]int, len(a.st.Pop))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return a.st.Pop[idx[i]].Fitness < a.st.Pop[idx[j]].Fitness })
+	if k > len(idx) {
+		k = len(idx)
+	}
+	out := make([]Individual, k)
+	for i := 0; i < k; i++ {
+		ind := a.st.Pop[idx[i]]
+		out[i] = Individual{Tree: ind.Tree.Clone(), Fitness: ind.Fitness}
+	}
+	return out
+}
+
+// tournament picks the best of 3 random individuals.
+func (a *App) tournament(r *xrand.Rand, pool []Individual) Individual {
+	best := pool[r.Intn(len(pool))]
+	for i := 0; i < 2; i++ {
+		c := pool[r.Intn(len(pool))]
+		if c.Fitness < best.Fitness {
+			best = c
+		}
+	}
+	return best
+}
+
+// Snapshot and Restore implement sam.App's private-state capture.
+func (a *App) Snapshot() interface{} { return &a.st }
+
+// Restore rebuilds the application from a checkpointed shard.
+func (a *App) Restore(s interface{}) { a.st = *(s.(*State)) }

@@ -1,0 +1,183 @@
+package gps
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"samft/internal/codec"
+	"samft/internal/xrand"
+)
+
+func TestRandomTreeBounds(t *testing.T) {
+	r := xrand.New(7)
+	for i := 0; i < 200; i++ {
+		tr := RandomTree(r, NVars, 6)
+		if tr.Depth() > 6 {
+			t.Fatalf("tree depth %d > 6", tr.Depth())
+		}
+		if tr.Size() < 1 {
+			t.Fatal("empty tree")
+		}
+	}
+}
+
+func TestEvalKnownTrees(t *testing.T) {
+	x := []float64{2, 3, 5, 7}
+	add := &Node{Op: OpAdd, Kids: []*Node{
+		{Op: OpVar, Index: 0}, {Op: OpVar, Index: 1},
+	}}
+	if got := add.Eval(x); got != 5 {
+		t.Fatalf("2+3 = %v", got)
+	}
+	div := &Node{Op: OpDiv, Kids: []*Node{
+		{Op: OpConst, Value: 1}, {Op: OpConst, Value: 0},
+	}}
+	if got := div.Eval(x); got != 1 {
+		t.Fatalf("protected division = %v, want 1", got)
+	}
+	neg := &Node{Op: OpNeg, Kids: []*Node{{Op: OpVar, Index: 3}}}
+	if got := neg.Eval(x); got != -7 {
+		t.Fatalf("-x3 = %v", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	r := xrand.New(3)
+	a := RandomTree(r, NVars, 5)
+	b := a.Clone()
+	if a.Size() != b.Size() {
+		t.Fatal("clone size differs")
+	}
+	b.Op = OpConst
+	b.Kids = nil
+	b.Value = 42
+	if a.Op == OpConst && a.Value == 42 {
+		t.Fatal("clone aliases original")
+	}
+}
+
+func TestCrossoverRespectsDepth(t *testing.T) {
+	r := xrand.New(11)
+	for i := 0; i < 200; i++ {
+		a := RandomTree(r, NVars, 6)
+		b := RandomTree(r, NVars, 6)
+		c := Crossover(r, a, b, 6)
+		if c.Depth() > 6 {
+			t.Fatalf("crossover produced depth %d", c.Depth())
+		}
+	}
+}
+
+func TestMutateRespectsDepth(t *testing.T) {
+	r := xrand.New(13)
+	for i := 0; i < 200; i++ {
+		a := RandomTree(r, NVars, 6)
+		m := Mutate(r, a, NVars, 6)
+		if m.Depth() > 6 {
+			t.Fatalf("mutation produced depth %d", m.Depth())
+		}
+	}
+}
+
+func TestDatasetDeterministicAndBounded(t *testing.T) {
+	a := NewDataset(5, 100)
+	b := NewDataset(5, 100)
+	for i := range a.Y {
+		if a.Y[i] != b.Y[i] {
+			t.Fatal("dataset not deterministic")
+		}
+		if a.Y[i] < 0 || a.Y[i] > 1 {
+			t.Fatalf("exposure %v out of [0,1]", a.Y[i])
+		}
+	}
+	c := NewDataset(6, 100)
+	same := true
+	for i := range a.Y {
+		if a.Y[i] != c.Y[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical datasets")
+	}
+}
+
+func TestFitnessFinite(t *testing.T) {
+	d := NewDataset(5, 64)
+	r := xrand.New(17)
+	f := func(seed uint64) bool {
+		tr := RandomTree(xrand.New(seed), NVars, 7)
+		fit := d.Fitness(tr)
+		return !math.IsNaN(fit) && !math.IsInf(fit, 0) && fit >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+	_ = r
+}
+
+func TestTreeRoundTripsThroughCodec(t *testing.T) {
+	r := xrand.New(23)
+	tr := RandomTree(r, NVars, 7)
+	b, err := codec.Pack(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := codec.Unpack(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.1, 0.2, 0.3, 0.4}
+	if tr.Eval(x) != got.(*Node).Eval(x) {
+		t.Fatal("tree changed across codec round trip")
+	}
+}
+
+func TestFitnessImprovesOverGenerations(t *testing.T) {
+	// Pure-library sanity: a tiny GP loop should not get worse.
+	d := NewDataset(5, 64)
+	r := xrand.New(29)
+	pop := make([]Individual, 60)
+	for i := range pop {
+		tr := RandomTree(r, NVars, 6)
+		pop[i] = Individual{Tree: tr, Fitness: d.Fitness(tr)}
+	}
+	best0 := best(pop)
+	for g := 0; g < 8; g++ {
+		next := make([]Individual, len(pop))
+		for i := range next {
+			a := tourn(r, pop)
+			b := tourn(r, pop)
+			tr := Crossover(r, a.Tree, b.Tree, 6)
+			next[i] = Individual{Tree: tr, Fitness: d.Fitness(tr)}
+		}
+		// Elitism for the sanity check.
+		next[0] = best(pop)
+		pop = next
+	}
+	if best(pop).Fitness > best0.Fitness+1e-9 {
+		t.Fatalf("fitness regressed: %v -> %v", best0.Fitness, best(pop).Fitness)
+	}
+}
+
+func best(pop []Individual) Individual {
+	b := pop[0]
+	for _, p := range pop[1:] {
+		if p.Fitness < b.Fitness {
+			b = p
+		}
+	}
+	return b
+}
+
+func tourn(r *xrand.Rand, pop []Individual) Individual {
+	b := pop[r.Intn(len(pop))]
+	for i := 0; i < 2; i++ {
+		c := pop[r.Intn(len(pop))]
+		if c.Fitness < b.Fitness {
+			b = c
+		}
+	}
+	return b
+}

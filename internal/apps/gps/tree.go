@@ -1,0 +1,213 @@
+// Package gps reproduces the paper's GPS application: genetic programming
+// that evolves a formula predicting the degree of exposure to solvent of
+// amino-acid residues (Handley 1994). The population is distributed evenly
+// across the processes; each generation every process evaluates its shard,
+// exchanges its best individuals with the other processes through
+// single-assignment values, and breeds the next shard locally. The
+// communication pattern is coarse-grained and value-dominated, which is
+// why the paper measures almost no fault-tolerance overhead for GPS.
+package gps
+
+import (
+	"math"
+
+	"samft/internal/codec"
+	"samft/internal/xrand"
+)
+
+// Node operation codes. A Node is a typed union: OpConst uses Value,
+// OpVar uses Index, everything else uses Kids.
+const (
+	OpConst int32 = iota
+	OpVar
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv // protected: x/0 == 1
+	OpNeg
+	OpSin
+	OpCos
+	opCount
+)
+
+// arity maps operations to child counts.
+var arity = map[int32]int{
+	OpConst: 0, OpVar: 0,
+	OpAdd: 2, OpSub: 2, OpMul: 2, OpDiv: 2,
+	OpNeg: 1, OpSin: 1, OpCos: 1,
+}
+
+// Node is one vertex of an expression tree. The tree is a codec-friendly
+// pointer structure so whole individuals travel as SAM objects.
+type Node struct {
+	Op    int32
+	Value float64
+	Index int32
+	Kids  []*Node
+}
+
+// Individual is one candidate formula with its cached fitness.
+type Individual struct {
+	Tree    *Node
+	Fitness float64 // lower is better (RMS error); NaN-free by construction
+}
+
+func init() {
+	codec.Register("gps.Node", Node{})
+	codec.Register("gps.Individual", Individual{})
+	codec.Register("gps.Shard", Shard{})
+	codec.Register("gps.Best", Best{})
+}
+
+// Shard is the SAM value one process publishes per generation: its top-K
+// individuals, used as migrants by every other process.
+type Shard struct {
+	Rank int64
+	Gen  int64
+	Tops []Individual
+}
+
+// Best is the accumulator tracking the globally best individual seen.
+type Best struct {
+	Fitness float64
+	Found   bool
+	Tree    *Node
+}
+
+// Eval computes the tree's value on one sample.
+func (n *Node) Eval(x []float64) float64 {
+	switch n.Op {
+	case OpConst:
+		return n.Value
+	case OpVar:
+		return x[int(n.Index)%len(x)]
+	case OpAdd:
+		return n.Kids[0].Eval(x) + n.Kids[1].Eval(x)
+	case OpSub:
+		return n.Kids[0].Eval(x) - n.Kids[1].Eval(x)
+	case OpMul:
+		return n.Kids[0].Eval(x) * n.Kids[1].Eval(x)
+	case OpDiv:
+		d := n.Kids[1].Eval(x)
+		if d == 0 {
+			return 1
+		}
+		return n.Kids[0].Eval(x) / d
+	case OpNeg:
+		return -n.Kids[0].Eval(x)
+	case OpSin:
+		return math.Sin(n.Kids[0].Eval(x))
+	case OpCos:
+		return math.Cos(n.Kids[0].Eval(x))
+	default:
+		return 0
+	}
+}
+
+// Size returns the node count.
+func (n *Node) Size() int {
+	s := 1
+	for _, k := range n.Kids {
+		s += k.Size()
+	}
+	return s
+}
+
+// Depth returns the tree height.
+func (n *Node) Depth() int {
+	d := 0
+	for _, k := range n.Kids {
+		if kd := k.Depth(); kd > d {
+			d = kd
+		}
+	}
+	return d + 1
+}
+
+// Clone deep-copies the tree.
+func (n *Node) Clone() *Node {
+	c := &Node{Op: n.Op, Value: n.Value, Index: n.Index}
+	if len(n.Kids) > 0 {
+		c.Kids = make([]*Node, len(n.Kids))
+		for i, k := range n.Kids {
+			c.Kids[i] = k.Clone()
+		}
+	}
+	return c
+}
+
+// RandomTree builds a random tree with the "grow" method up to maxDepth.
+func RandomTree(r *xrand.Rand, nvars, maxDepth int) *Node {
+	if maxDepth <= 1 || r.Intn(4) == 0 {
+		if r.Intn(2) == 0 {
+			return &Node{Op: OpVar, Index: int32(r.Intn(nvars))}
+		}
+		return &Node{Op: OpConst, Value: math.Round((r.Float64()*4-2)*100) / 100}
+	}
+	op := int32(r.Intn(int(opCount-OpAdd))) + OpAdd
+	n := &Node{Op: op, Kids: make([]*Node, arity[op])}
+	for i := range n.Kids {
+		n.Kids[i] = RandomTree(r, nvars, maxDepth-1)
+	}
+	return n
+}
+
+// pickNode returns the i-th node (preorder) and its parent slot, walking
+// the tree; used by crossover and mutation.
+func pickNode(root *Node, idx int) (parent *Node, slot int, node *Node) {
+	var walk func(p *Node, s int, n *Node) bool
+	count := 0
+	var fp *Node
+	var fs int
+	var fn *Node
+	walk = func(p *Node, s int, n *Node) bool {
+		if count == idx {
+			fp, fs, fn = p, s, n
+			return true
+		}
+		count++
+		for i, k := range n.Kids {
+			if walk(n, i, k) {
+				return true
+			}
+		}
+		return false
+	}
+	walk(nil, -1, root)
+	return fp, fs, fn
+}
+
+// Crossover swaps a random subtree of a into a clone of b's structure,
+// returning a new tree (neither input is modified).
+func Crossover(r *xrand.Rand, a, b *Node, maxDepth int) *Node {
+	child := a.Clone()
+	pa, sa, na := pickNode(child, r.Intn(child.Size()))
+	_, _, nb := pickNode(b, r.Intn(b.Size()))
+	graft := nb.Clone()
+	if pa == nil {
+		child = graft
+	} else {
+		pa.Kids[sa] = graft
+		_ = na
+	}
+	if child.Depth() > maxDepth {
+		return a.Clone() // reject oversized offspring
+	}
+	return child
+}
+
+// Mutate replaces a random subtree with a fresh random one.
+func Mutate(r *xrand.Rand, a *Node, nvars, maxDepth int) *Node {
+	child := a.Clone()
+	pa, sa, _ := pickNode(child, r.Intn(child.Size()))
+	fresh := RandomTree(r, nvars, 3)
+	if pa == nil {
+		child = fresh
+	} else {
+		pa.Kids[sa] = fresh
+	}
+	if child.Depth() > maxDepth {
+		return a.Clone()
+	}
+	return child
+}

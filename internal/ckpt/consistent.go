@@ -1,0 +1,103 @@
+// Package ckpt provides the baseline checkpointing methods the paper
+// compares against (§3, §6): consistent global checkpointing in the style
+// of Kaashoek et al.'s Orca work — periodic global synchronization
+// followed by every process writing its entire state to stable storage.
+//
+// The baseline is implemented as a transparent wrapper around any SAM
+// application: every Interval steps it runs a barrier through
+// single-assignment values and charges the modeled cost of dumping the
+// process state to a 1996-era local disk. This reproduces the two costs
+// the paper's method avoids — global synchronization and disk writes —
+// without needing either real disks or rollback support (the experiments
+// compare failure-free overhead).
+package ckpt
+
+import (
+	"samft/internal/codec"
+	"samft/internal/sam"
+)
+
+// ConsistentConfig tunes the baseline.
+type ConsistentConfig struct {
+	// Interval is the number of application steps between global
+	// checkpoints.
+	Interval int64
+	// DiskMBps is the modeled write bandwidth of the checkpoint device.
+	DiskMBps float64
+	// DiskLatencyUS is the modeled per-checkpoint seek/sync latency.
+	DiskLatencyUS float64
+}
+
+// DefaultConsistentConfig mirrors a mid-90s workstation disk.
+func DefaultConsistentConfig() ConsistentConfig {
+	return ConsistentConfig{Interval: 4, DiskMBps: 5, DiskLatencyUS: 15000}
+}
+
+// Consistent wraps an application with periodic consistent global
+// checkpointing.
+type Consistent struct {
+	Inner sam.App
+	Cfg   ConsistentConfig
+
+	rank, n int
+}
+
+// NewConsistent wraps inner for one rank.
+func NewConsistent(inner sam.App, rank, n int, cfg ConsistentConfig) *Consistent {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 4
+	}
+	return &Consistent{Inner: inner, Cfg: cfg, rank: rank, n: n}
+}
+
+const famBarrier = 60
+
+func barrierName(epoch int64, rank int) sam.Name {
+	return sam.MkName(famBarrier, int(epoch), rank)
+}
+
+// Init delegates.
+func (c *Consistent) Init(p *sam.Proc) { c.Inner.Init(p) }
+
+// Step delegates, then performs the periodic global checkpoint: a full
+// barrier (every process must reach the same epoch — the consistent cut)
+// followed by a modeled full-state dump to disk.
+func (c *Consistent) Step(p *sam.Proc, step int64) bool {
+	cont := c.Inner.Step(p, step)
+	if !cont || step%c.Cfg.Interval != 0 {
+		// A finished process takes no further part in global checkpoints.
+		// The wrapper requires applications whose processes execute the
+		// same number of steps (GPS and Barnes-Hut qualify); a general
+		// implementation would need out-of-band coordination — one of the
+		// scalability problems the paper's method avoids by design.
+		return cont
+	}
+	epoch := step / c.Cfg.Interval
+
+	// Global synchronization: all-to-all through single-use values.
+	p.CreateValue(barrierName(epoch, c.rank), &BarrierToken{Rank: int64(c.rank)}, int64(c.n-1))
+	for r := 0; r < c.n; r++ {
+		if r == c.rank {
+			continue
+		}
+		p.UseValue(barrierName(epoch, r))
+		p.DoneValue(barrierName(epoch, r))
+	}
+
+	// Entire process state to disk.
+	snap := c.Inner.Snapshot()
+	if b, err := codec.Pack(snap); err == nil {
+		p.Compute(c.Cfg.DiskLatencyUS + float64(len(b))/(c.Cfg.DiskMBps))
+	}
+	return cont
+}
+
+// Snapshot and Restore delegate (the baseline does not implement its own
+// recovery; the experiments compare failure-free overhead).
+func (c *Consistent) Snapshot() interface{} { return c.Inner.Snapshot() }
+func (c *Consistent) Restore(s interface{}) { c.Inner.Restore(s) }
+
+// BarrierToken is the value exchanged by the barrier.
+type BarrierToken struct{ Rank int64 }
+
+func init() { codec.Register("ckpt.BarrierToken", BarrierToken{}) }

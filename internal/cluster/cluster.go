@@ -1,0 +1,249 @@
+// Package cluster boots and drives a simulated network of workstations
+// running SAM processes: it spawns one PVM task per rank, wires the rank
+// table, runs the application to completion, injects failures, respawns
+// failed ranks on behalf of the recovery coordinator, and aggregates the
+// paper's statistics.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"samft/internal/ft"
+	"samft/internal/netsim"
+	"samft/internal/pvm"
+	"samft/internal/sam"
+	"samft/internal/stats"
+)
+
+// Config describes one cluster run.
+type Config struct {
+	// N is the number of workstations (one SAM process each).
+	N int
+	// Policy selects the fault-tolerance mode.
+	Policy ft.Policy
+	// Degree is the replication degree (default 1).
+	Degree int
+	// EagerFree disables the §4.3 lazy-free protocol (ablation).
+	EagerFree bool
+	// CacheCapacity bounds each process's cached-object count (0 = off).
+	CacheCapacity int
+	// Cost overrides the network cost model (default: the paper's AN2).
+	Cost netsim.CostModel
+	// AppFactory builds the per-rank application. It is called again with
+	// the same rank when a failed process is restarted.
+	AppFactory func(rank int) sam.App
+	// Trace receives protocol event lines from every process (tests).
+	Trace func(format string, args ...interface{})
+}
+
+// Cluster is a running (or runnable) simulated cluster.
+type Cluster struct {
+	cfg     Config
+	machine *pvm.Machine
+
+	mu       sync.Mutex
+	tids     []pvm.TID
+	tasks    []*pvm.Task
+	allTasks []*pvm.Task // every incarnation, for error collection
+	stats    []*stats.Proc
+	finished []bool
+	halted   bool
+
+	started  chan struct{}
+	finishCh chan int
+}
+
+// New prepares a cluster; Start boots it.
+func New(cfg Config) *Cluster {
+	if cfg.N <= 0 {
+		panic("cluster: N must be positive")
+	}
+	if cfg.AppFactory == nil {
+		panic("cluster: AppFactory required")
+	}
+	netCfg := netsim.Config{Cost: cfg.Cost}
+	c := &Cluster{
+		cfg:      cfg,
+		machine:  pvm.NewMachine(netCfg),
+		tids:     make([]pvm.TID, cfg.N),
+		tasks:    make([]*pvm.Task, cfg.N),
+		stats:    make([]*stats.Proc, cfg.N),
+		finished: make([]bool, cfg.N),
+		started:  make(chan struct{}),
+		finishCh: make(chan int, cfg.N*4),
+	}
+	for i := range c.stats {
+		c.stats[i] = &stats.Proc{}
+	}
+	return c
+}
+
+// Start spawns every rank. The processes begin executing immediately.
+func (c *Cluster) Start() {
+	for rank := 0; rank < c.cfg.N; rank++ {
+		task := c.spawn(rank, false)
+		c.tids[rank] = task.TID()
+		c.tasks[rank] = task
+		c.allTasks = append(c.allTasks, task)
+	}
+	close(c.started)
+}
+
+// spawn launches one rank's process body (initial or recovering).
+func (c *Cluster) spawn(rank int, recovering bool) *pvm.Task {
+	name := fmt.Sprintf("rank%d", rank)
+	if recovering {
+		name += "-r"
+	}
+	return c.machine.Spawn(name, func(t *pvm.Task) {
+		<-c.started
+		c.mu.Lock()
+		ranks := append([]pvm.TID(nil), c.tids...)
+		st := c.stats[rank]
+		c.mu.Unlock()
+		cfg := sam.Config{
+			Rank:          rank,
+			N:             c.cfg.N,
+			Ranks:         ranks,
+			Policy:        c.cfg.Policy,
+			Degree:        c.cfg.Degree,
+			LazyFree:      !c.cfg.EagerFree,
+			CacheCapacity: c.cfg.CacheCapacity,
+			Stats:         st,
+			Recovering:    recovering,
+			Respawn:       c.respawn,
+			Trace:         c.cfg.Trace,
+		}
+		p := sam.NewProc(t, cfg)
+		if p.Run(c.cfg.AppFactory(rank)) {
+			c.finishCh <- rank
+		}
+	})
+}
+
+// respawn restarts a failed rank on behalf of the recovery coordinator
+// and returns the replacement's tid (NoTID while halting).
+func (c *Cluster) respawn(rank int) pvm.TID {
+	// The lock is held across the spawn so the new task body (which also
+	// takes it to snapshot the rank table) observes its own fresh tid.
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.halted {
+		return pvm.NoTID
+	}
+	task := c.spawn(rank, true)
+	c.tids[rank] = task.TID()
+	c.tasks[rank] = task
+	c.allTasks = append(c.allTasks, task)
+	return task.TID()
+}
+
+// Kill injects the failure of a rank's current incarnation, as if its
+// workstation rebooted.
+func (c *Cluster) Kill(rank int) {
+	c.mu.Lock()
+	tid := c.tids[rank]
+	c.mu.Unlock()
+	c.machine.Kill(tid)
+}
+
+// Wait blocks until every rank's application has completed (surviving
+// kills via recovery), then halts the machine. It returns the first task
+// error observed, if any.
+func (c *Cluster) Wait(timeout time.Duration) error {
+	deadline := time.After(timeout)
+	remaining := c.cfg.N
+	for remaining > 0 {
+		select {
+		case rank := <-c.finishCh:
+			c.mu.Lock()
+			if !c.finished[rank] {
+				c.finished[rank] = true
+				remaining--
+			}
+			c.mu.Unlock()
+		case <-deadline:
+			c.halt()
+			return fmt.Errorf("cluster: timeout with %d ranks unfinished", remaining)
+		}
+	}
+	c.halt()
+	return c.firstError()
+}
+
+func (c *Cluster) halt() {
+	c.mu.Lock()
+	c.halted = true
+	c.mu.Unlock()
+	c.machine.Halt()
+}
+
+// Halt force-stops the cluster (for tests that do not run to completion).
+func (c *Cluster) Halt() { c.halt() }
+
+func (c *Cluster) firstError() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, t := range c.allTasks {
+		select {
+		case <-t.Done():
+			if err := t.Err(); err != nil {
+				return err
+			}
+		default:
+			// Still serving (apps finished, runtime alive): no error.
+		}
+	}
+	return nil
+}
+
+// Run executes the whole lifecycle: Start, Wait, report.
+func (c *Cluster) Run(timeout time.Duration) (stats.Report, error) {
+	c.Start()
+	err := c.Wait(timeout)
+	return c.Report(), err
+}
+
+// Report aggregates the paper-style statistics across ranks.
+func (c *Cluster) Report() stats.Report {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r := stats.Report{Procs: c.cfg.N, Elapsed: c.elapsedLocked()}
+	for _, s := range c.stats {
+		r.Total.Add(s.Snapshot())
+	}
+	return r
+}
+
+// ElapsedModeledSec returns the modeled wall time of the computation: the
+// maximum virtual clock over the current incarnations.
+func (c *Cluster) ElapsedModeledSec() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.elapsedLocked()
+}
+
+func (c *Cluster) elapsedLocked() float64 {
+	var maxUS float64
+	for _, t := range c.tasks {
+		if t == nil {
+			continue
+		}
+		if us := t.Endpoint().ClockUS(); us > maxUS {
+			maxUS = us
+		}
+	}
+	return maxUS / 1e6
+}
+
+// ProcStats returns a rank's counters (shared across incarnations).
+func (c *Cluster) ProcStats(rank int) *stats.Proc {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats[rank]
+}
+
+// Machine exposes the PVM machine (tests use it for low-level poking).
+func (c *Cluster) Machine() *pvm.Machine { return c.machine }

@@ -1,0 +1,212 @@
+// Package codec is the reproduction of SAM's preprocessor-generated
+// marshaling support. SAM transmits shared data in units of whole objects
+// of user-defined types, including types with internal pointers that are
+// not stored contiguously; in heterogeneous clusters it also converts
+// between machine representations.
+//
+// This package provides the same capability for Go types via reflection:
+// a process-wide type registry (playing the role of the preprocessor's
+// generated tables) and a canonical, architecture-independent wire format
+// (fixed-width big-endian scalars, explicit lengths, reference-encoded
+// pointers). Pointer graphs may be shared or cyclic; identity is preserved
+// across a pack/unpack round trip. Every frame carries a CRC-32 checksum.
+package codec
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"reflect"
+	"sort"
+	"sync"
+)
+
+// Errors returned by the codec.
+var (
+	ErrNotRegistered = errors.New("codec: type not registered")
+	ErrCorrupt       = errors.New("codec: corrupt frame")
+	ErrChecksum      = errors.New("codec: checksum mismatch")
+)
+
+// registry maps type names to reflect.Types, standing in for the tables the
+// SAM preprocessor generates for each user-defined type.
+type registry struct {
+	mu      sync.RWMutex
+	byName  map[string]reflect.Type
+	nameFor map[reflect.Type]string
+}
+
+var defaultRegistry = &registry{
+	byName:  make(map[string]reflect.Type),
+	nameFor: make(map[reflect.Type]string),
+}
+
+// Register associates a name with the dynamic type of sample. The sample is
+// typically a zero value: Register("Body", Body{}). Registering the same
+// name/type pair again is a no-op; re-registering a name with a different
+// type panics, because it indicates two incompatible modules sharing a
+// cluster.
+func Register(name string, sample interface{}) {
+	t := reflect.TypeOf(sample)
+	if t == nil {
+		panic("codec: Register with nil sample")
+	}
+	// Registering a pointer registers its element type; whole objects are
+	// always transmitted by value at top level.
+	for t.Kind() == reflect.Ptr {
+		t = t.Elem()
+	}
+	defaultRegistry.mu.Lock()
+	defer defaultRegistry.mu.Unlock()
+	if prev, ok := defaultRegistry.byName[name]; ok {
+		if prev != t {
+			panic(fmt.Sprintf("codec: name %q registered for both %v and %v", name, prev, t))
+		}
+		return
+	}
+	defaultRegistry.byName[name] = t
+	defaultRegistry.nameFor[t] = name
+}
+
+// TypeName returns the registered name for v's type (pointers are
+// dereferenced), or "" if unregistered.
+func TypeName(v interface{}) string {
+	t := reflect.TypeOf(v)
+	for t != nil && t.Kind() == reflect.Ptr {
+		t = t.Elem()
+	}
+	defaultRegistry.mu.RLock()
+	defer defaultRegistry.mu.RUnlock()
+	return defaultRegistry.nameFor[t]
+}
+
+// RegisteredNames returns all registered type names, sorted. Intended for
+// diagnostics and tests.
+func RegisteredNames() []string {
+	defaultRegistry.mu.RLock()
+	defer defaultRegistry.mu.RUnlock()
+	out := make([]string, 0, len(defaultRegistry.byName))
+	for n := range defaultRegistry.byName {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func lookupType(name string) (reflect.Type, bool) {
+	defaultRegistry.mu.RLock()
+	defer defaultRegistry.mu.RUnlock()
+	t, ok := defaultRegistry.byName[name]
+	return t, ok
+}
+
+// Frame layout:
+//
+//	magic   uint16  0x5A4D ("SM")
+//	name    string  registered type name
+//	body    bytes   encoded value
+//	crc32   uint32  over everything preceding it
+const frameMagic uint16 = 0x5A4D
+
+// Pack serializes v (a value or pointer to a value of a registered type)
+// into a self-describing frame.
+func Pack(v interface{}) ([]byte, error) {
+	rv := reflect.ValueOf(v)
+	var root reflect.Value // innermost pointer to the packed object, if any
+	for rv.Kind() == reflect.Ptr {
+		if rv.IsNil() {
+			return nil, errors.New("codec: Pack of nil pointer")
+		}
+		root = rv
+		rv = rv.Elem()
+	}
+	name := TypeName(v)
+	if name == "" {
+		return nil, fmt.Errorf("%w: %T", ErrNotRegistered, v)
+	}
+	e := newEncoder()
+	e.u16(frameMagic)
+	e.str(name)
+	if root.IsValid() {
+		// Seed the reference table with the root object so internal
+		// pointers back to it (e.g. a child's Parent link) resolve to the
+		// same identity after unpack.
+		e.u8(1)
+		e.refs[root.Pointer()] = 0
+	} else {
+		e.u8(0)
+	}
+	if err := e.value(rv); err != nil {
+		return nil, err
+	}
+	sum := crc32.ChecksumIEEE(e.buf)
+	e.u32(sum)
+	return e.buf, nil
+}
+
+// Unpack deserializes a frame produced by Pack. It returns a pointer to a
+// freshly allocated value of the registered type (so the result is always
+// addressable), e.g. *Body for a frame packed from Body or *Body.
+func Unpack(data []byte) (interface{}, error) {
+	if len(data) < 6 {
+		return nil, fmt.Errorf("%w: short frame (%d bytes)", ErrCorrupt, len(data))
+	}
+	body, sumBytes := data[:len(data)-4], data[len(data)-4:]
+	want := uint32(sumBytes[0])<<24 | uint32(sumBytes[1])<<16 | uint32(sumBytes[2])<<8 | uint32(sumBytes[3])
+	if crc32.ChecksumIEEE(body) != want {
+		return nil, ErrChecksum
+	}
+	d := newDecoder(body)
+	magic, err := d.u16()
+	if err != nil {
+		return nil, err
+	}
+	if magic != frameMagic {
+		return nil, fmt.Errorf("%w: bad magic %#x", ErrCorrupt, magic)
+	}
+	name, err := d.str()
+	if err != nil {
+		return nil, err
+	}
+	t, ok := lookupType(name)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotRegistered, name)
+	}
+	rooted, err := d.u8()
+	if err != nil {
+		return nil, err
+	}
+	p := reflect.New(t)
+	if rooted == 1 {
+		d.ptrs = append(d.ptrs, p)
+	}
+	if err := d.value(p.Elem()); err != nil {
+		return nil, err
+	}
+	if d.remaining() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, d.remaining())
+	}
+	return p.Interface(), nil
+}
+
+// DeepCopy copies a value of a registered type through the wire format.
+// SAM uses this to hand a local process its own copy of an object without
+// aliasing the owner's storage (the simulated processes must behave like
+// separate address spaces).
+func DeepCopy(v interface{}) (interface{}, error) {
+	b, err := Pack(v)
+	if err != nil {
+		return nil, err
+	}
+	return Unpack(b)
+}
+
+// PackedSize returns the frame size for v without retaining the buffer.
+// The sam layer uses it to charge modeled transfer time.
+func PackedSize(v interface{}) (int, error) {
+	b, err := Pack(v)
+	if err != nil {
+		return 0, err
+	}
+	return len(b), nil
+}

@@ -1,0 +1,310 @@
+package codec
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// Test types modeled on the kinds of shared objects SAM applications
+// declare: flat structs, nested aggregates, and linked structures.
+
+type scalars struct {
+	B   bool
+	I   int
+	I8  int8
+	I16 int16
+	I32 int32
+	I64 int64
+	U   uint
+	U8  uint8
+	U16 uint16
+	U32 uint32
+	U64 uint64
+	F32 float32
+	F64 float64
+	S   string
+	C   complex128
+}
+
+type vec3 struct{ X, Y, Z float64 }
+
+type molecule struct {
+	ID    int
+	Pos   vec3
+	Vel   vec3
+	Bonds []int
+	Tags  map[string]float64
+	Raw   []byte
+	Grid  [4]int32
+}
+
+type treeNode struct {
+	Val      int
+	Children []*treeNode
+	Parent   *treeNode
+}
+
+type withUnexported struct {
+	Public int
+	secret int
+}
+
+func init() {
+	Register("scalars", scalars{})
+	Register("molecule", molecule{})
+	Register("treeNode", treeNode{})
+	Register("withUnexported", withUnexported{})
+	Register("vec3", vec3{})
+}
+
+func roundTrip(t *testing.T, v interface{}) interface{} {
+	t.Helper()
+	b, err := Pack(v)
+	if err != nil {
+		t.Fatalf("Pack(%T): %v", v, err)
+	}
+	out, err := Unpack(b)
+	if err != nil {
+		t.Fatalf("Unpack(%T): %v", v, err)
+	}
+	return out
+}
+
+func TestScalarsRoundTrip(t *testing.T) {
+	in := scalars{
+		B: true, I: -42, I8: -8, I16: -1600, I32: 1 << 30, I64: -(1 << 60),
+		U: 42, U8: 255, U16: 65535, U32: 1 << 31, U64: 1 << 63,
+		F32: 3.5, F64: math.Pi, S: "liquid water", C: complex(1.5, -2.5),
+	}
+	got := roundTrip(t, in).(*scalars)
+	if *got != in {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", *got, in)
+	}
+}
+
+func TestAggregateRoundTrip(t *testing.T) {
+	in := molecule{
+		ID:    7,
+		Pos:   vec3{1, 2, 3},
+		Vel:   vec3{-0.5, 0.25, 0},
+		Bonds: []int{3, 1, 4, 1, 5},
+		Tags:  map[string]float64{"mass": 18.015, "charge": 0},
+		Raw:   []byte{0, 1, 2, 255},
+		Grid:  [4]int32{9, 8, 7, 6},
+	}
+	got := roundTrip(t, in).(*molecule)
+	if !reflect.DeepEqual(*got, in) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", *got, in)
+	}
+}
+
+func TestPointerArgumentAccepted(t *testing.T) {
+	in := &vec3{4, 5, 6}
+	got := roundTrip(t, in).(*vec3)
+	if *got != *in {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestNilSliceVsEmptySlice(t *testing.T) {
+	in := molecule{Bonds: nil}
+	got := roundTrip(t, in).(*molecule)
+	if got.Bonds != nil {
+		t.Fatal("nil slice became non-nil")
+	}
+	in = molecule{Bonds: []int{}}
+	got = roundTrip(t, in).(*molecule)
+	if got.Bonds == nil || len(got.Bonds) != 0 {
+		t.Fatal("empty slice not preserved")
+	}
+}
+
+func TestNilMapPreserved(t *testing.T) {
+	got := roundTrip(t, molecule{}).(*molecule)
+	if got.Tags != nil {
+		t.Fatal("nil map became non-nil")
+	}
+}
+
+func TestSharedPointerIdentity(t *testing.T) {
+	shared := &treeNode{Val: 99}
+	in := treeNode{Val: 1, Children: []*treeNode{shared, shared}}
+	got := roundTrip(t, in).(*treeNode)
+	if got.Children[0] != got.Children[1] {
+		t.Fatal("shared pointee duplicated")
+	}
+	if got.Children[0].Val != 99 {
+		t.Fatalf("pointee value %d", got.Children[0].Val)
+	}
+}
+
+func TestCyclicStructure(t *testing.T) {
+	root := &treeNode{Val: 1}
+	child := &treeNode{Val: 2, Parent: root}
+	root.Children = []*treeNode{child}
+	got := roundTrip(t, root).(*treeNode)
+	if len(got.Children) != 1 || got.Children[0].Parent != got {
+		t.Fatal("cycle not reconstructed")
+	}
+}
+
+func TestUnexportedFieldsSkipped(t *testing.T) {
+	in := withUnexported{Public: 5, secret: 6}
+	got := roundTrip(t, in).(*withUnexported)
+	if got.Public != 5 {
+		t.Fatalf("Public = %d", got.Public)
+	}
+	if got.secret != 0 {
+		t.Fatalf("secret transmitted: %d", got.secret)
+	}
+}
+
+func TestUnregisteredType(t *testing.T) {
+	type anon struct{ X int }
+	if _, err := Pack(anon{1}); err == nil {
+		t.Fatal("packed unregistered type")
+	}
+}
+
+func TestRegisterConflictPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on conflicting registration")
+		}
+	}()
+	Register("scalars", molecule{})
+}
+
+func TestRegisterIdempotent(t *testing.T) {
+	Register("scalars", scalars{})
+	Register("scalars", &scalars{}) // pointer form is the same element type
+}
+
+func TestChecksumDetectsCorruption(t *testing.T) {
+	b, err := Pack(vec3{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{2, len(b) / 2, len(b) - 5} {
+		c := append([]byte(nil), b...)
+		c[i] ^= 0x40
+		if _, err := Unpack(c); err == nil {
+			t.Fatalf("corruption at byte %d undetected", i)
+		}
+	}
+}
+
+func TestUnpackShortFrame(t *testing.T) {
+	for n := 0; n < 6; n++ {
+		if _, err := Unpack(make([]byte, n)); err == nil {
+			t.Fatalf("accepted %d-byte frame", n)
+		}
+	}
+}
+
+func TestUnpackTruncated(t *testing.T) {
+	b, err := Pack(molecule{Bonds: []int{1, 2, 3}, Raw: []byte("abcdef")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 6; n < len(b); n++ {
+		if _, err := Unpack(b[:n]); err == nil {
+			t.Fatalf("accepted truncation to %d bytes", n)
+		}
+	}
+}
+
+func TestDeepCopyIsolation(t *testing.T) {
+	in := &molecule{Bonds: []int{1, 2}, Tags: map[string]float64{"a": 1}}
+	cp, err := DeepCopy(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := cp.(*molecule)
+	got.Bonds[0] = 99
+	got.Tags["a"] = 99
+	if in.Bonds[0] != 1 || in.Tags["a"] != 1 {
+		t.Fatal("DeepCopy aliases the original")
+	}
+}
+
+func TestPackedSize(t *testing.T) {
+	small, err := PackedSize(vec3{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := PackedSize(molecule{Raw: make([]byte, 10000)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big < small+10000 {
+		t.Fatalf("sizes do not reflect payload: small=%d big=%d", small, big)
+	}
+}
+
+func TestCanonicalMapEncoding(t *testing.T) {
+	in := molecule{Tags: map[string]float64{"a": 1, "b": 2, "c": 3, "d": 4, "e": 5}}
+	first, err := Pack(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		again, err := Pack(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(again) != string(first) {
+			t.Fatal("map encoding not canonical across Pack calls")
+		}
+	}
+}
+
+func TestTypeName(t *testing.T) {
+	if got := TypeName(vec3{}); got != "vec3" {
+		t.Fatalf("TypeName = %q", got)
+	}
+	if got := TypeName(&vec3{}); got != "vec3" {
+		t.Fatalf("TypeName(ptr) = %q", got)
+	}
+	type anon struct{ Y int }
+	if got := TypeName(anon{}); got != "" {
+		t.Fatalf("TypeName(unregistered) = %q", got)
+	}
+}
+
+// Property-based tests: random values of registered types must survive a
+// round trip exactly.
+
+func TestQuickScalars(t *testing.T) {
+	f := func(in scalars) bool {
+		got := roundTrip(t, in).(*scalars)
+		return *got == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMolecule(t *testing.T) {
+	f := func(id int, pos, vel vec3, bonds []int, raw []byte, tags map[string]float64) bool {
+		in := molecule{ID: id, Pos: pos, Vel: vel, Bonds: bonds, Raw: raw, Tags: tags}
+		got := roundTrip(t, in).(*molecule)
+		return reflect.DeepEqual(*got, in)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickUnpackGarbageNeverPanics(t *testing.T) {
+	f := func(b []byte) bool {
+		// Unpack must reject or accept, never panic.
+		_, _ = Unpack(b)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,272 @@
+package codec
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+)
+
+// decoder mirrors encoder: it walks the static type and consumes the
+// canonical byte stream, rebuilding pointer identity from the reference
+// table.
+type decoder struct {
+	buf []byte
+	off int
+	// ptrs holds decoded pointees in reference-index order.
+	ptrs []reflect.Value
+}
+
+func newDecoder(b []byte) *decoder { return &decoder{buf: b} }
+
+func (d *decoder) remaining() int { return len(d.buf) - d.off }
+
+func (d *decoder) need(n int) error {
+	if d.remaining() < n {
+		return fmt.Errorf("%w: need %d bytes, have %d", ErrCorrupt, n, d.remaining())
+	}
+	return nil
+}
+
+func (d *decoder) u8() (uint8, error) {
+	if err := d.need(1); err != nil {
+		return 0, err
+	}
+	v := d.buf[d.off]
+	d.off++
+	return v, nil
+}
+
+func (d *decoder) u16() (uint16, error) {
+	if err := d.need(2); err != nil {
+		return 0, err
+	}
+	v := uint16(d.buf[d.off])<<8 | uint16(d.buf[d.off+1])
+	d.off += 2
+	return v, nil
+}
+
+func (d *decoder) u32() (uint32, error) {
+	if err := d.need(4); err != nil {
+		return 0, err
+	}
+	b := d.buf[d.off:]
+	v := uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+	d.off += 4
+	return v, nil
+}
+
+func (d *decoder) u64() (uint64, error) {
+	if err := d.need(8); err != nil {
+		return 0, err
+	}
+	b := d.buf[d.off:]
+	v := uint64(b[0])<<56 | uint64(b[1])<<48 | uint64(b[2])<<40 | uint64(b[3])<<32 |
+		uint64(b[4])<<24 | uint64(b[5])<<16 | uint64(b[6])<<8 | uint64(b[7])
+	d.off += 8
+	return v, nil
+}
+
+func (d *decoder) str() (string, error) {
+	n, err := d.u32()
+	if err != nil {
+		return "", err
+	}
+	if err := d.need(int(n)); err != nil {
+		return "", err
+	}
+	s := string(d.buf[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s, nil
+}
+
+func (d *decoder) byteSlice() ([]byte, error) {
+	n, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	if err := d.need(int(n)); err != nil {
+		return nil, err
+	}
+	out := make([]byte, n)
+	copy(out, d.buf[d.off:d.off+int(n)])
+	d.off += int(n)
+	return out, nil
+}
+
+// value decodes into rv, which must be addressable (settable).
+func (d *decoder) value(rv reflect.Value) error {
+	switch rv.Kind() {
+	case reflect.Bool:
+		b, err := d.u8()
+		if err != nil {
+			return err
+		}
+		rv.SetBool(b != 0)
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		v, err := d.u64()
+		if err != nil {
+			return err
+		}
+		rv.SetInt(int64(v))
+		if rv.Int() != int64(v) {
+			return fmt.Errorf("%w: integer overflow for %v", ErrCorrupt, rv.Type())
+		}
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr:
+		v, err := d.u64()
+		if err != nil {
+			return err
+		}
+		rv.SetUint(v)
+		if rv.Uint() != v {
+			return fmt.Errorf("%w: integer overflow for %v", ErrCorrupt, rv.Type())
+		}
+	case reflect.Float32, reflect.Float64:
+		v, err := d.u64()
+		if err != nil {
+			return err
+		}
+		rv.SetFloat(math.Float64frombits(v))
+	case reflect.Complex64, reflect.Complex128:
+		re, err := d.u64()
+		if err != nil {
+			return err
+		}
+		im, err := d.u64()
+		if err != nil {
+			return err
+		}
+		rv.SetComplex(complex(math.Float64frombits(re), math.Float64frombits(im)))
+	case reflect.String:
+		s, err := d.str()
+		if err != nil {
+			return err
+		}
+		rv.SetString(s)
+	case reflect.Slice:
+		present, err := d.u8()
+		if err != nil {
+			return err
+		}
+		if present == 0 {
+			rv.Set(reflect.Zero(rv.Type()))
+			return nil
+		}
+		if rv.Type().Elem().Kind() == reflect.Uint8 {
+			b, err := d.byteSlice()
+			if err != nil {
+				return err
+			}
+			if rv.Type().Elem() == reflect.TypeOf(byte(0)) {
+				rv.SetBytes(b)
+				return nil
+			}
+			// Named byte-like element types.
+			s := reflect.MakeSlice(rv.Type(), len(b), len(b))
+			for i, bb := range b {
+				s.Index(i).SetUint(uint64(bb))
+			}
+			rv.Set(s)
+			return nil
+		}
+		n, err := d.u32()
+		if err != nil {
+			return err
+		}
+		if int(n) > d.remaining() {
+			// Every element takes at least one byte; reject absurd lengths
+			// before allocating.
+			return fmt.Errorf("%w: slice length %d exceeds frame", ErrCorrupt, n)
+		}
+		s := reflect.MakeSlice(rv.Type(), int(n), int(n))
+		for i := 0; i < int(n); i++ {
+			if err := d.value(s.Index(i)); err != nil {
+				return err
+			}
+		}
+		rv.Set(s)
+	case reflect.Array:
+		for i := 0; i < rv.Len(); i++ {
+			if err := d.value(rv.Index(i)); err != nil {
+				return err
+			}
+		}
+	case reflect.Map:
+		present, err := d.u8()
+		if err != nil {
+			return err
+		}
+		if present == 0 {
+			rv.Set(reflect.Zero(rv.Type()))
+			return nil
+		}
+		n, err := d.u32()
+		if err != nil {
+			return err
+		}
+		if int(n) > d.remaining() {
+			return fmt.Errorf("%w: map length %d exceeds frame", ErrCorrupt, n)
+		}
+		m := reflect.MakeMapWithSize(rv.Type(), int(n))
+		for i := 0; i < int(n); i++ {
+			k := reflect.New(rv.Type().Key()).Elem()
+			if err := d.value(k); err != nil {
+				return err
+			}
+			v := reflect.New(rv.Type().Elem()).Elem()
+			if err := d.value(v); err != nil {
+				return err
+			}
+			m.SetMapIndex(k, v)
+		}
+		rv.Set(m)
+	case reflect.Ptr:
+		return d.pointer(rv)
+	case reflect.Struct:
+		t := rv.Type()
+		for i := 0; i < t.NumField(); i++ {
+			if t.Field(i).PkgPath != "" {
+				continue // unexported fields are not on the wire
+			}
+			if err := d.value(rv.Field(i)); err != nil {
+				return fmt.Errorf("field %s.%s: %w", t.Name(), t.Field(i).Name, err)
+			}
+		}
+	default:
+		return fmt.Errorf("codec: cannot decode kind %v", rv.Kind())
+	}
+	return nil
+}
+
+func (d *decoder) pointer(rv reflect.Value) error {
+	marker, err := d.u8()
+	if err != nil {
+		return err
+	}
+	switch marker {
+	case ptrNil:
+		rv.Set(reflect.Zero(rv.Type()))
+		return nil
+	case ptrNew:
+		p := reflect.New(rv.Type().Elem())
+		// Register before decoding the pointee so cycles resolve.
+		d.ptrs = append(d.ptrs, p)
+		rv.Set(p)
+		return d.value(p.Elem())
+	case ptrBack:
+		idx, err := d.u64()
+		if err != nil {
+			return err
+		}
+		if idx >= uint64(len(d.ptrs)) {
+			return fmt.Errorf("%w: backreference %d of %d", ErrCorrupt, idx, len(d.ptrs))
+		}
+		p := d.ptrs[idx]
+		if p.Type() != rv.Type() {
+			return fmt.Errorf("%w: backreference type %v, want %v", ErrCorrupt, p.Type(), rv.Type())
+		}
+		rv.Set(p)
+		return nil
+	default:
+		return fmt.Errorf("%w: bad pointer marker %d", ErrCorrupt, marker)
+	}
+}

@@ -1,0 +1,325 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5) plus the ablations listed in DESIGN.md. It is shared by
+// cmd/ftbench (human-readable output) and the repository's benchmark
+// harness.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"samft/internal/apps/barnes"
+	"samft/internal/apps/gps"
+	"samft/internal/apps/water"
+	"samft/internal/ckpt"
+	"samft/internal/cluster"
+	"samft/internal/ft"
+	"samft/internal/sam"
+	"samft/internal/stats"
+)
+
+// AppKind selects one of the paper's three applications.
+type AppKind int
+
+const (
+	GPS AppKind = iota
+	Water
+	Barnes
+)
+
+func (k AppKind) String() string {
+	switch k {
+	case GPS:
+		return "GPS"
+	case Water:
+		return "Water"
+	case Barnes:
+		return "Barnes-Hut"
+	default:
+		return "?"
+	}
+}
+
+// Scale selects the workload size. Paper scale reproduces the published
+// parameters (1000 individuals / 1728 molecules / 8000 bodies); Small is
+// sized for tests and quick benches.
+type Scale int
+
+const (
+	Small Scale = iota
+	Paper
+)
+
+// Spec describes one cluster run.
+type Spec struct {
+	App    AppKind
+	N      int
+	Policy ft.Policy
+	Degree int
+	Eager  bool // eager-free ablation (A4)
+	// Consistent wraps the app with the global-checkpointing baseline (A3).
+	Consistent bool
+	Scale      Scale
+	// KillRank / KillStep inject a failure at the given application step
+	// (KillStep 0 = no failure).
+	KillRank int
+	KillStep int64
+	Seed     uint64
+}
+
+// Result is one run's outcome.
+type Result struct {
+	Spec       Spec
+	ModeledSec float64
+	WallSec    float64
+	Report     stats.Report
+	// Answer is an application-level scalar used to cross-check that
+	// different configurations compute the same thing (GPS best fitness,
+	// Water final potential energy, Barnes-Hut final tree mass).
+	Answer float64
+	// RecoverySec is the wall-clock time from failure injection to the
+	// first completed recovery (0 when no failure was injected).
+	RecoverySec float64
+}
+
+type hooked struct {
+	sam.App
+	hook func(rank int, step int64)
+	rank int
+}
+
+func (h *hooked) Step(p *sam.Proc, step int64) bool {
+	if h.hook != nil {
+		h.hook(h.rank, step)
+	}
+	return h.App.Step(p, step)
+}
+
+type answerBox struct {
+	mu  sync.Mutex
+	v   float64
+	set bool
+}
+
+func (a *answerBox) put(v float64) {
+	a.mu.Lock()
+	if !a.set {
+		a.v = v
+		a.set = true
+	}
+	a.mu.Unlock()
+}
+
+// gpsParams / waterParams / barnesParams size the workloads.
+func gpsParams(s Scale) gps.Params {
+	p := gps.DefaultParams()
+	if s == Small {
+		p.Population = 96
+		p.Generations = 5
+		p.Samples = 24
+		// Keep the modeled compute/communication ratio of the full-size
+		// workload (evaluation dominates in GPS).
+		p.EvalCostUS = 0.5
+	}
+	return p
+}
+
+func waterParams(s Scale) water.Params {
+	p := water.DefaultParams()
+	if s == Small {
+		p.Molecules = 96
+		p.Steps = 4
+		p.TasksPerStep = 8
+		p.PairCostUS = 0.5
+	}
+	return p
+}
+
+func barnesParams(s Scale) barnes.Params {
+	p := barnes.DefaultParams()
+	if s == Small {
+		p.Bodies = 128
+		p.Steps = 3
+		p.BodyCostUS = 0.5
+	}
+	return p
+}
+
+// Run executes one spec to completion and collects the metrics.
+func Run(spec Spec) (Result, error) {
+	if spec.N <= 0 {
+		spec.N = 1
+	}
+	ans := &answerBox{}
+	var cl *cluster.Cluster
+	var killOnce sync.Once
+	var killAt, recoveredAt time.Time
+	var recMu sync.Mutex
+
+	factory := func(rank int) sam.App {
+		var app sam.App
+		switch spec.App {
+		case GPS:
+			a := gps.New(rank, spec.N, gpsParams(spec.Scale))
+			if rank == 0 {
+				a.OnResult = func(best float64) {
+					ans.put(best)
+					recMu.Lock()
+					if !killAt.IsZero() && recoveredAt.IsZero() {
+						recoveredAt = time.Now()
+					}
+					recMu.Unlock()
+				}
+			}
+			app = a
+		case Water:
+			a := water.New(rank, spec.N, waterParams(spec.Scale))
+			if rank == 0 {
+				steps := waterParams(spec.Scale).Steps
+				a.OnEnergy = func(step int64, e float64) {
+					if step == steps {
+						ans.put(e)
+					}
+				}
+			}
+			app = a
+		case Barnes:
+			a := barnes.New(rank, spec.N, barnesParams(spec.Scale))
+			if rank == 0 {
+				steps := barnesParams(spec.Scale).Steps
+				a.OnStep = func(step int64, mass float64) {
+					if step == steps {
+						ans.put(mass)
+					}
+				}
+			}
+			app = a
+		}
+		if spec.Consistent {
+			app = ckpt.NewConsistent(app, rank, spec.N, ckpt.DefaultConsistentConfig())
+		}
+		hook := func(r int, s int64) {
+			if spec.KillStep > 0 && r == spec.KillRank && s >= spec.KillStep {
+				killOnce.Do(func() {
+					recMu.Lock()
+					killAt = time.Now()
+					recMu.Unlock()
+					cl.Kill(spec.KillRank)
+				})
+			}
+		}
+		return &hooked{App: app, hook: hook, rank: rank}
+	}
+
+	cl = cluster.New(cluster.Config{
+		N:          spec.N,
+		Policy:     spec.Policy,
+		Degree:     spec.Degree,
+		EagerFree:  spec.Eager,
+		AppFactory: factory,
+	})
+	start := time.Now()
+	rep, err := cl.Run(10 * time.Minute)
+	wall := time.Since(start).Seconds()
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{
+		Spec:       spec,
+		ModeledSec: rep.Elapsed,
+		WallSec:    wall,
+		Report:     rep,
+		Answer:     ans.v,
+	}
+	recMu.Lock()
+	if !killAt.IsZero() && !recoveredAt.IsZero() {
+		res.RecoverySec = recoveredAt.Sub(killAt).Seconds()
+	} else if !killAt.IsZero() {
+		res.RecoverySec = time.Since(killAt).Seconds()
+	}
+	recMu.Unlock()
+	return res, nil
+}
+
+// FigureRow is one (procs, variant) cell of a speedup figure.
+type FigureRow struct {
+	Procs      int
+	ModeledSec float64
+	Speedup    float64
+	Report     stats.Report
+}
+
+// Figure is the reproduction of one of the paper's speedup figures: the
+// no-FT and FT curves plus the per-run statistics table.
+type Figure struct {
+	App    AppKind
+	Scale  Scale
+	NoFT   []FigureRow
+	WithFT []FigureRow
+}
+
+// RunFigure reproduces Fig 3/4/5 for the given processor counts.
+func RunFigure(app AppKind, scale Scale, procs []int) (Figure, error) {
+	fig := Figure{App: app, Scale: scale}
+	var t1 float64
+	for i, variant := range []ft.Policy{ft.PolicyOff, ft.PolicySAM} {
+		for _, n := range procs {
+			res, err := Run(Spec{App: app, N: n, Policy: variant, Scale: scale})
+			if err != nil {
+				return fig, fmt.Errorf("%v n=%d policy=%v: %w", app, n, variant, err)
+			}
+			if i == 0 && n == procs[0] {
+				t1 = res.ModeledSec
+			}
+			row := FigureRow{Procs: n, ModeledSec: res.ModeledSec, Report: res.Report}
+			if res.ModeledSec > 0 {
+				row.Speedup = t1 * float64(procs[0]) / res.ModeledSec
+			}
+			if i == 0 {
+				fig.NoFT = append(fig.NoFT, row)
+			} else {
+				fig.WithFT = append(fig.WithFT, row)
+			}
+		}
+	}
+	return fig, nil
+}
+
+// Print renders a figure in the paper's layout: speedup curves side by
+// side and the statistics rows underneath.
+func (f Figure) Print(w io.Writer) {
+	fmt.Fprintf(w, "== %s (scale=%v): speedup, no-FT vs FT ==\n", f.App, scaleName(f.Scale))
+	fmt.Fprintf(w, "%6s %12s %9s %12s %9s %8s\n", "procs", "T(noFT) s", "speedup", "T(FT) s", "speedup", "ovhd %")
+	for i := range f.NoFT {
+		a, b := f.NoFT[i], f.WithFT[i]
+		ovhd := 0.0
+		if a.ModeledSec > 0 {
+			ovhd = 100 * (b.ModeledSec - a.ModeledSec) / a.ModeledSec
+		}
+		fmt.Fprintf(w, "%6d %12.4f %9.2f %12.4f %9.2f %8.2f\n",
+			a.Procs, a.ModeledSec, a.Speedup, b.ModeledSec, b.Speedup, ovhd)
+	}
+	fmt.Fprintln(w, "-- FT statistics (paper table rows) --")
+	fmt.Fprintf(w, "%6s %14s %12s %14s %14s %10s %10s\n",
+		"procs", "ckpts/proc/s", "sends-ckpt%", "force-msgs/ps", "forced/proc/s", "miss%noFT", "miss%FT")
+	for i := range f.WithFT {
+		a, b := f.NoFT[i], f.WithFT[i]
+		fmt.Fprintf(w, "%6d %14.3f %12.2f %14.4f %14.4f %10.2f %10.2f\n",
+			b.Procs,
+			b.Report.CheckpointsPerProcPerSec(),
+			b.Report.PctSendsCausingCheckpoint(),
+			b.Report.ForceCkptMsgsPerProcPerSec(),
+			b.Report.ForcedCkptsPerProcPerSec(),
+			a.Report.MissRatePct(),
+			b.Report.MissRatePct())
+	}
+}
+
+func scaleName(s Scale) string {
+	if s == Paper {
+		return "paper"
+	}
+	return "small"
+}

@@ -1,0 +1,318 @@
+package ft
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTickMonotonic(t *testing.T) {
+	c := NewClocks(0, 3)
+	if c.Now() != 0 {
+		t.Fatalf("initial time %d", c.Now())
+	}
+	for i := int64(1); i <= 5; i++ {
+		if got := c.Tick(); got != i {
+			t.Fatalf("Tick #%d = %d", i, got)
+		}
+	}
+}
+
+func TestOnCheckpointCopiesT(t *testing.T) {
+	c := NewClocks(1, 3)
+	c.Tick()
+	c.Absorb(Stamp{From: 0, T: []int64{7, 0, 0}})
+	c.OnCheckpoint()
+	if c.C[0] != 7 || c.C[1] != 2 {
+		t.Fatalf("C = %v", c.C)
+	}
+	if c.D[1] != c.C[1] {
+		t.Fatalf("self D entry %d, want %d", c.D[1], c.C[1])
+	}
+}
+
+func TestStampAbsorbUpdatesD(t *testing.T) {
+	// Process 0 checkpoints after seeing time 5 on process 1; its next
+	// message to 1 must convince 1 that 0 has checkpointed since 1's time
+	// was 5.
+	p0 := NewClocks(0, 2)
+	p1 := NewClocks(1, 2)
+	for i := 0; i < 5; i++ {
+		p1.Tick()
+	}
+	// 1 sends an FT message to 0.
+	p0.Absorb(p1.StampFor(0))
+	if p0.T[1] != 5 {
+		t.Fatalf("p0.T[1] = %d", p0.T[1])
+	}
+	p0.OnCheckpoint()
+	// 0 replies; 1 learns c_{0,1} = 5.
+	p1.Absorb(p0.StampFor(1))
+	if p1.D[0] != 5 {
+		t.Fatalf("p1.D[0] = %d, want 5", p1.D[0])
+	}
+	// An object marked freeable at time 5 on p1 can be freed (0 has
+	// checkpointed with knowledge of time 5), but not one marked at 6.
+	if lag := p1.Laggards(5); len(lag) != 0 {
+		t.Fatalf("laggards(5) = %v", lag)
+	}
+	if lag := p1.Laggards(6); len(lag) != 1 || lag[0] != 0 {
+		t.Fatalf("laggards(6) = %v", lag)
+	}
+}
+
+func TestAbsorbNeverLowersEntries(t *testing.T) {
+	c := NewClocks(0, 3)
+	c.Absorb(Stamp{From: 1, T: []int64{0, 9, 4}, CForDst: 6})
+	c.Absorb(Stamp{From: 1, T: []int64{0, 2, 1}, CForDst: 3})
+	if c.T[1] != 9 || c.T[2] != 4 {
+		t.Fatalf("T = %v", c.T)
+	}
+	if c.D[1] != 6 {
+		t.Fatalf("D[1] = %d", c.D[1])
+	}
+}
+
+func TestAbsorbIgnoresOwnAndBogusEntries(t *testing.T) {
+	c := NewClocks(0, 2)
+	c.Tick() // own time 1
+	c.Absorb(Stamp{From: 0, T: []int64{99, 99}, CForDst: 99})
+	if c.Now() != 1 || c.D[0] != 0 {
+		t.Fatal("absorbed a stamp from self")
+	}
+	c.Absorb(Stamp{From: 7, T: []int64{99, 99}})
+	c.Absorb(Stamp{From: -1, T: []int64{99, 99}})
+	if c.T[1] != 0 {
+		t.Fatal("absorbed a stamp from out-of-range rank")
+	}
+	// A stamp whose T vector is longer than ours must not panic.
+	c.Absorb(Stamp{From: 1, T: []int64{1, 2, 3, 4, 5}})
+	if c.T[1] != 2 {
+		t.Fatalf("T = %v", c.T)
+	}
+}
+
+func TestSelfCovered(t *testing.T) {
+	c := NewClocks(0, 2)
+	c.Tick() // t=1; mark freeable at f=1
+	if c.SelfCovered(1) {
+		t.Fatal("covered before any checkpoint")
+	}
+	c.OnCheckpoint() // t=2, C[0]=2
+	if !c.SelfCovered(1) {
+		t.Fatal("not covered after checkpoint at t=2")
+	}
+	if c.SelfCovered(2) {
+		t.Fatal("f=2 covered by checkpoint at t=2 (needs strictly later)")
+	}
+}
+
+func TestNeedsForcedCheckpoint(t *testing.T) {
+	j := NewClocks(1, 2)
+	// j has never checkpointed: a request for coverage of f=3 forces one.
+	if !j.NeedsForcedCheckpoint(0, 3) {
+		t.Fatal("no forced checkpoint although C[0]=0 < 3")
+	}
+	// After absorbing 0's time and checkpointing, coverage is satisfied.
+	j.Absorb(Stamp{From: 0, T: []int64{5, 0}})
+	j.OnCheckpoint()
+	if j.NeedsForcedCheckpoint(0, 3) {
+		t.Fatalf("forced checkpoint although C[0]=%d >= 3", j.C[0])
+	}
+	if j.NeedsForcedCheckpoint(-1, 3) || j.NeedsForcedCheckpoint(9, 3) {
+		t.Fatal("out-of-range origin treated as needing checkpoint")
+	}
+}
+
+func TestForceCheckpointRoundTripFreesObject(t *testing.T) {
+	// Full §4.3 scenario: p0 owns an object, p1 accessed it, p0 wants to
+	// free it but p1 has not checkpointed since.
+	p0 := NewClocks(0, 2)
+	p1 := NewClocks(1, 2)
+
+	f := p0.Tick() // marked freeable at f
+
+	if lag := p0.Laggards(f); len(lag) != 1 || lag[0] != 1 {
+		t.Fatalf("laggards = %v", lag)
+	}
+	// p0 sends force-checkpoint(f) to p1 with its stamp.
+	p1.Absorb(p0.StampFor(1))
+	if !p1.NeedsForcedCheckpoint(0, f) {
+		t.Fatal("p1 skipped the forced checkpoint")
+	}
+	p1.OnCheckpoint()
+	// p1 replies with its stamp; c_{1,0} is now >= f.
+	p0.Absorb(p1.StampFor(0))
+	if lag := p0.Laggards(f); len(lag) != 0 {
+		t.Fatalf("laggards after forced checkpoint = %v", lag)
+	}
+	p0.OnCheckpoint() // p0's own coverage
+	if !p0.SelfCovered(f) {
+		t.Fatal("self not covered")
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	c := NewClocks(0, 3)
+	c.Tick()
+	c.Absorb(Stamp{From: 2, T: []int64{0, 0, 8}, CForDst: 4})
+	c.OnCheckpoint()
+	tt, cc, dd := c.Snapshot()
+
+	fresh := NewClocks(0, 3)
+	fresh.Restore(tt, cc, dd)
+	t2, c2, d2 := fresh.Snapshot()
+	for i := range tt {
+		if tt[i] != t2[i] || cc[i] != c2[i] || dd[i] != d2[i] {
+			t.Fatalf("restore mismatch at %d: %v/%v %v/%v %v/%v", i, tt, t2, cc, c2, dd, d2)
+		}
+	}
+	// Snapshot must be a copy, not an alias.
+	tt[0] = 999
+	if c.T[0] == 999 {
+		t.Fatal("Snapshot aliases internal state")
+	}
+}
+
+func TestQuickAbsorbMonotone(t *testing.T) {
+	// Property: after absorbing any sequence of stamps, every T/D entry is
+	// >= its previous value and equals the max seen.
+	f := func(times []int64, cs []int64) bool {
+		c := NewClocks(0, 2)
+		var maxT, maxC int64
+		for i := range times {
+			tv := times[i]
+			if tv < 0 {
+				tv = -tv
+			}
+			var cv int64
+			if i < len(cs) {
+				cv = cs[i]
+				if cv < 0 {
+					cv = -cv
+				}
+			}
+			c.Absorb(Stamp{From: 1, T: []int64{0, tv}, CForDst: cv})
+			if tv > maxT {
+				maxT = tv
+			}
+			if cv > maxC {
+				maxC = cv
+			}
+			if c.T[1] != maxT || c.D[1] != maxC {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTaintPolicySAM(t *testing.T) {
+	ta := NewTaint(PolicySAM)
+	if ta.Tainted() {
+		t.Fatal("fresh tracker tainted")
+	}
+	ta.OnNonReexecutable()
+	if !ta.Tainted() {
+		t.Fatal("not tainted after non-reexecutable op")
+	}
+	ta.OnCheckpoint()
+	if ta.Tainted() {
+		t.Fatal("tainted after checkpoint")
+	}
+}
+
+func TestTaintPolicyNaive(t *testing.T) {
+	ta := NewTaint(PolicyNaive)
+	if !ta.Tainted() {
+		t.Fatal("naive policy must always be tainted")
+	}
+	ta.OnCheckpoint()
+	if !ta.Tainted() {
+		t.Fatal("naive policy cleared by checkpoint")
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	for p, want := range map[Policy]string{
+		PolicyOff: "off", PolicySAM: "sam", PolicyNaive: "naive", Policy(99): "unknown",
+	} {
+		if p.String() != want {
+			t.Fatalf("%d.String() = %q", p, p.String())
+		}
+	}
+}
+
+func TestHomeRankStableAndInRange(t *testing.T) {
+	for name := uint64(0); name < 1000; name++ {
+		r := HomeRank(name, 8)
+		if r < 0 || r >= 8 {
+			t.Fatalf("home(%d) = %d", name, r)
+		}
+		if r != HomeRank(name, 8) {
+			t.Fatal("home not deterministic")
+		}
+	}
+	if HomeRank(42, 0) != 0 {
+		t.Fatal("degenerate n")
+	}
+}
+
+func TestCheckpointRanksAvoidOwner(t *testing.T) {
+	for name := uint64(0); name < 500; name++ {
+		for owner := 0; owner < 4; owner++ {
+			rs := CheckpointRanks(name, owner, 4, 1)
+			if len(rs) != 1 {
+				t.Fatalf("degree-1 placement returned %v", rs)
+			}
+			if rs[0] == owner {
+				t.Fatalf("checkpoint copy of %d placed on its owner %d", name, owner)
+			}
+		}
+	}
+}
+
+func TestCheckpointRanksDegree(t *testing.T) {
+	rs := CheckpointRanks(7, 2, 8, 3)
+	if len(rs) != 3 {
+		t.Fatalf("got %v", rs)
+	}
+	seen := map[int]bool{}
+	for _, r := range rs {
+		if r == 2 || seen[r] || r < 0 || r >= 8 {
+			t.Fatalf("bad placement %v", rs)
+		}
+		seen[r] = true
+	}
+	// Degree capped at n-1.
+	if got := CheckpointRanks(7, 0, 3, 99); len(got) != 2 {
+		t.Fatalf("capped degree = %v", got)
+	}
+	// Single process: nowhere to replicate.
+	if got := CheckpointRanks(7, 0, 1, 1); got != nil {
+		t.Fatalf("n=1 placement = %v", got)
+	}
+}
+
+func TestPrivateStateRanks(t *testing.T) {
+	if got := PrivateStateRanks(7, 8, 1); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("ring wrap = %v", got)
+	}
+	if got := PrivateStateRanks(1, 4, 2); len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("degree-2 = %v", got)
+	}
+	if got := PrivateStateRanks(0, 1, 1); got != nil {
+		t.Fatalf("n=1 = %v", got)
+	}
+}
+
+func TestCoordinatorRank(t *testing.T) {
+	if CoordinatorRank(3) != 0 {
+		t.Fatal("coordinator should be 0")
+	}
+	if CoordinatorRank(0) != 1 {
+		t.Fatal("coordinator should fall back to 1 when 0 fails")
+	}
+}

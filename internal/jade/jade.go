@@ -1,0 +1,82 @@
+// Package jade reproduces the slice of the Jade parallel language that the
+// paper's Water application depends on: dynamic task distribution with
+// load balancing, implemented entirely on top of SAM, "a parallel language
+// implemented entirely in SAM" whose applications become fault-tolerant
+// for free once SAM is.
+//
+// The task pool lives in a SAM accumulator. Popping a task migrates the
+// pool under mutual exclusion — an operation that is *not reexecutable* on
+// the receiving process, exactly the property the paper points out: "the
+// distribution of tasks to processors involves an operation which is not
+// reexecutable on the receiving process. Since tasks cause checkpoints
+// only upon completion when they communicate their results, all data
+// produced by these tasks is considered nonreproducible."
+package jade
+
+import (
+	"samft/internal/codec"
+	"samft/internal/sam"
+)
+
+// Task is one unit of schedulable work. Kind and Args are interpreted by
+// the application.
+type Task struct {
+	ID   int64
+	Kind int64
+	Args []int64
+}
+
+// pool is the accumulator contents backing a queue.
+type pool struct {
+	Pending []Task
+}
+
+func init() {
+	codec.Register("jade.pool", pool{})
+	codec.Register("jade.Task", Task{})
+}
+
+// Queue is a distributed work queue with dynamic load balancing: idle
+// workers pull tasks, so fast processes naturally take more work.
+type Queue struct {
+	name sam.Name
+}
+
+// NewQueue binds a queue to a SAM name. All processes must use the same
+// name; exactly one must call Create.
+func NewQueue(name sam.Name) *Queue { return &Queue{name: name} }
+
+// Create initializes the queue with the given tasks. Call once (typically
+// from the main process's Init).
+func (q *Queue) Create(p *sam.Proc, tasks []Task) {
+	p.CreateAccum(q.name, &pool{Pending: append([]Task(nil), tasks...)})
+}
+
+// Add appends tasks to the queue.
+func (q *Queue) Add(p *sam.Proc, tasks ...Task) {
+	pl := p.UpdateAccum(q.name).(*pool)
+	pl.Pending = append(pl.Pending, tasks...)
+	p.ReleaseAccum(q.name)
+}
+
+// Pop removes and returns one task; ok is false when the queue is empty.
+// Popping observes and mutates the shared pool, so it taints the caller's
+// step (the framework handles the consequent checkpointing).
+func (q *Queue) Pop(p *sam.Proc) (Task, bool) {
+	pl := p.UpdateAccum(q.name).(*pool)
+	if len(pl.Pending) == 0 {
+		p.ReleaseAccum(q.name)
+		return Task{}, false
+	}
+	t := pl.Pending[len(pl.Pending)-1]
+	pl.Pending = pl.Pending[:len(pl.Pending)-1]
+	p.ReleaseAccum(q.name)
+	return t, true
+}
+
+// Len reports the current queue length via a chaotic read: cheap and
+// possibly stale, suitable for load monitoring only.
+func (q *Queue) Len(p *sam.Proc) int {
+	pl := p.ChaoticRead(q.name).(*pool)
+	return len(pl.Pending)
+}

@@ -1,0 +1,222 @@
+package netsim
+
+import (
+	"sync"
+)
+
+// Endpoint is one process's attachment to the network: a mailbox with
+// PVM-style matching, a modeled-time clock, and traffic statistics.
+//
+// An endpoint is intended to be driven by the goroutines of a single
+// simulated process, but all methods are safe for concurrent use.
+type Endpoint struct {
+	net *Network
+	tid TID
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []*Message // undelivered messages in arrival order
+	dead   bool
+	closed bool // network shut down
+
+	clockUS float64 // modeled local time, microseconds
+
+	stats EndpointStats
+}
+
+// EndpointStats counts traffic through an endpoint.
+type EndpointStats struct {
+	MsgsSent  int64
+	MsgsRecvd int64
+	BytesSent int64
+	BytesRecv int64
+}
+
+func newEndpoint(n *Network, tid TID) *Endpoint {
+	e := &Endpoint{net: n, tid: tid}
+	e.cond = sync.NewCond(&e.mu)
+	return e
+}
+
+// TID returns the endpoint's task id.
+func (e *Endpoint) TID() TID { return e.tid }
+
+// Network returns the owning network.
+func (e *Endpoint) Network() *Network { return e.net }
+
+// Stats returns a snapshot of the endpoint's traffic counters.
+func (e *Endpoint) Stats() EndpointStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+func (e *Endpoint) isDead() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.dead
+}
+
+func (e *Endpoint) kill() {
+	e.mu.Lock()
+	e.dead = true
+	e.queue = nil
+	e.cond.Broadcast()
+	e.mu.Unlock()
+}
+
+func (e *Endpoint) closeNetwork() {
+	e.mu.Lock()
+	e.closed = true
+	e.cond.Broadcast()
+	e.mu.Unlock()
+}
+
+// ClockUS returns the endpoint's modeled local time in microseconds.
+func (e *Endpoint) ClockUS() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.clockUS
+}
+
+// Charge advances the modeled clock by us microseconds of local
+// computation. Negative charges are ignored.
+func (e *Endpoint) Charge(us float64) {
+	if us <= 0 {
+		return
+	}
+	e.mu.Lock()
+	e.clockUS += us
+	e.mu.Unlock()
+}
+
+// AdvanceTo moves the modeled clock forward to at least us. Used when a
+// message arrives from a process whose clock is ahead.
+func (e *Endpoint) AdvanceTo(us float64) {
+	e.mu.Lock()
+	if us > e.clockUS {
+		e.clockUS = us
+	}
+	e.mu.Unlock()
+}
+
+// Send transmits a payload to dst. The payload is not copied; the caller
+// must not modify it afterwards (the pvm layer always hands over freshly
+// packed buffers). Sending to a dead endpoint silently drops the message —
+// exactly what a network does when a workstation has crashed — but sending
+// to a TID that never existed is an error.
+func (e *Endpoint) Send(dst TID, tag int, payload []byte) error {
+	cost := e.net.cfg.Cost
+
+	e.mu.Lock()
+	if e.dead {
+		e.mu.Unlock()
+		return ErrKilled
+	}
+	if e.closed {
+		e.mu.Unlock()
+		return ErrClosed
+	}
+	e.clockUS += cost.SendOverheadUS
+	arrival := e.clockUS + cost.TransferUS(len(payload))
+	e.stats.MsgsSent++
+	e.stats.BytesSent += int64(len(payload))
+	e.mu.Unlock()
+
+	e.net.mu.Lock()
+	target, known := e.net.endpoints[dst]
+	e.net.mu.Unlock()
+	if !known {
+		return ErrUnknownDest
+	}
+	// deliver is a no-op on a dead endpoint: the message vanishes.
+	target.deliver(&Message{Src: e.tid, Dst: dst, Tag: tag, Payload: payload, ArrivalUS: arrival})
+	return nil
+}
+
+func (e *Endpoint) deliver(m *Message) {
+	e.mu.Lock()
+	if e.dead || e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.queue = append(e.queue, m)
+	e.cond.Broadcast()
+	e.mu.Unlock()
+}
+
+// match returns the index of the first queued message matching src/tag
+// (with AnySrc/AnyTag wildcards), or -1.
+func (e *Endpoint) match(src TID, tag int) int {
+	for i, m := range e.queue {
+		if (src == AnySrc || m.Src == src) && (tag == AnyTag || m.Tag == tag) {
+			return i
+		}
+	}
+	return -1
+}
+
+func (e *Endpoint) take(i int) *Message {
+	m := e.queue[i]
+	e.queue = append(e.queue[:i], e.queue[i+1:]...)
+	e.stats.MsgsRecvd++
+	e.stats.BytesRecv += int64(len(m.Payload))
+	// Receiving synchronizes the modeled clocks: the receiver cannot have
+	// processed the message before it arrived.
+	if m.ArrivalUS > e.clockUS {
+		e.clockUS = m.ArrivalUS
+	}
+	e.clockUS += e.net.cfg.Cost.RecvOverheadUS
+	return m
+}
+
+// Recv blocks until a message matching src/tag is available and returns it.
+// It returns ErrKilled if the endpoint is killed while waiting and
+// ErrClosed if the network is shut down.
+func (e *Endpoint) Recv(src TID, tag int) (*Message, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for {
+		if e.dead {
+			return nil, ErrKilled
+		}
+		if e.closed {
+			return nil, ErrClosed
+		}
+		if i := e.match(src, tag); i >= 0 {
+			return e.take(i), nil
+		}
+		e.cond.Wait()
+	}
+}
+
+// TryRecv returns a matching message if one is queued, else (nil, nil).
+// The error reports killed/closed states.
+func (e *Endpoint) TryRecv(src TID, tag int) (*Message, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.dead {
+		return nil, ErrKilled
+	}
+	if e.closed {
+		return nil, ErrClosed
+	}
+	if i := e.match(src, tag); i >= 0 {
+		return e.take(i), nil
+	}
+	return nil, nil
+}
+
+// Probe reports whether a matching message is queued, without consuming it.
+func (e *Endpoint) Probe(src TID, tag int) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.match(src, tag) >= 0
+}
+
+// Pending returns the number of queued messages. Intended for tests.
+func (e *Endpoint) Pending() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.queue)
+}

@@ -1,0 +1,272 @@
+// Package netsim simulates a cluster of workstations connected by a
+// local-area network such as the AN2 ATM network used in the paper.
+//
+// The simulation runs every "process" as ordinary goroutines inside one Go
+// program. Communication goes through per-endpoint mailboxes with PVM-style
+// src/tag matching. The network never executes remote code; it only moves
+// byte payloads, so the endpoints behave like separate address spaces as
+// long as callers only exchange serialized data (the codec and pvm packages
+// enforce this).
+//
+// Two features distinguish netsim from a plain channel fabric:
+//
+//   - A cost model. Every message charges modeled microseconds to a
+//     per-endpoint virtual clock (latency + size/bandwidth, LogP-style).
+//     Experiments report speedups in modeled time, which makes the
+//     communication/computation ratio — the quantity that shapes the
+//     paper's curves — independent of the machine running the simulation.
+//
+//   - Failure injection. Kill silences an endpoint atomically: queued and
+//     future messages to it are dropped, its blocked receivers unblock with
+//     ErrKilled, and subscribers receive an exit notification, mirroring
+//     pvm_notify(PvmTaskExit).
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Common errors returned by endpoint operations.
+var (
+	// ErrKilled is returned from blocking operations on an endpoint that
+	// has been killed by failure injection.
+	ErrKilled = errors.New("netsim: endpoint killed")
+	// ErrClosed is returned when the whole network has been shut down.
+	ErrClosed = errors.New("netsim: network closed")
+	// ErrUnknownDest is returned when sending to a TID that never existed.
+	ErrUnknownDest = errors.New("netsim: unknown destination")
+)
+
+// TID is a task identifier, analogous to a PVM task id. TIDs are unique for
+// the lifetime of a Network and are never reused: a restarted process gets
+// a fresh TID, so messages addressed to its previous incarnation can never
+// reach it (the property the paper's recovery procedure relies on).
+type TID int
+
+// NoTID is the zero, never-allocated task id.
+const NoTID TID = 0
+
+// AnySrc and AnyTag are wildcards for Recv/Probe matching.
+const (
+	AnySrc TID = -1
+	AnyTag int = -1
+)
+
+// CostModel describes the modeled network. The defaults correspond to the
+// paper's AN2 cluster: 90 microseconds one-way latency and 14.6 MB/s of
+// achievable PVM bandwidth.
+type CostModel struct {
+	// LatencyUS is the one-way message latency in microseconds.
+	LatencyUS float64
+	// BandwidthMBps is the achievable bandwidth in megabytes per second.
+	BandwidthMBps float64
+	// SendOverheadUS is CPU time charged to the sender per message.
+	SendOverheadUS float64
+	// RecvOverheadUS is CPU time charged to the receiver per message.
+	RecvOverheadUS float64
+}
+
+// AN2 returns the cost model of the paper's evaluation cluster.
+func AN2() CostModel {
+	return CostModel{
+		LatencyUS:      90,
+		BandwidthMBps:  14.6,
+		SendOverheadUS: 25,
+		RecvOverheadUS: 25,
+	}
+}
+
+// TransferUS returns the modeled one-way transfer time for a payload of the
+// given size, excluding per-end CPU overheads.
+func (c CostModel) TransferUS(bytes int) float64 {
+	if c.BandwidthMBps <= 0 {
+		return c.LatencyUS
+	}
+	return c.LatencyUS + float64(bytes)/c.BandwidthMBps
+}
+
+// Config configures a Network.
+type Config struct {
+	Cost CostModel
+}
+
+// DefaultConfig returns a Config with the AN2 cost model.
+func DefaultConfig() Config {
+	return Config{Cost: AN2()}
+}
+
+// Message is one unit of communication: an opaque payload plus PVM-style
+// addressing metadata.
+type Message struct {
+	Src TID
+	Dst TID
+	Tag int
+	// Payload is the serialized body. Receivers must not retain references
+	// into a payload they hand to other goroutines; the codec layer always
+	// copies during unpack.
+	Payload []byte
+	// ArrivalUS is the modeled time at which the message reaches the
+	// destination endpoint.
+	ArrivalUS float64
+}
+
+// Len returns the payload size in bytes.
+func (m *Message) Len() int { return len(m.Payload) }
+
+func (m *Message) String() string {
+	return fmt.Sprintf("msg{%d->%d tag=%d %dB}", m.Src, m.Dst, m.Tag, len(m.Payload))
+}
+
+// Network is a simulated cluster fabric. All methods are safe for
+// concurrent use.
+type Network struct {
+	cfg Config
+
+	mu        sync.Mutex
+	nextTID   TID
+	endpoints map[TID]*Endpoint
+	// watchers maps a watched TID to the set of endpoints that asked to be
+	// notified when it dies (pvm_notify).
+	watchers map[TID]map[TID]bool
+	closed   bool
+}
+
+// New creates an empty network with the given configuration.
+func New(cfg Config) *Network {
+	if cfg.Cost == (CostModel{}) {
+		cfg.Cost = AN2()
+	}
+	return &Network{
+		cfg:       cfg,
+		nextTID:   100, // distinguishable from small ranks in logs
+		endpoints: make(map[TID]*Endpoint),
+		watchers:  make(map[TID]map[TID]bool),
+	}
+}
+
+// Cost returns the network's cost model.
+func (n *Network) Cost() CostModel { return n.cfg.Cost }
+
+// NewEndpoint allocates a live endpoint with a fresh TID.
+func (n *Network) NewEndpoint() *Endpoint {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		panic("netsim: NewEndpoint on closed network")
+	}
+	n.nextTID++
+	e := newEndpoint(n, n.nextTID)
+	n.endpoints[e.tid] = e
+	return e
+}
+
+// Lookup returns the endpoint for a TID, or nil if it does not exist or has
+// been killed.
+func (n *Network) Lookup(tid TID) *Endpoint {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	e := n.endpoints[tid]
+	if e == nil || e.isDead() {
+		return nil
+	}
+	return e
+}
+
+// Alive reports whether the endpoint exists and has not been killed.
+func (n *Network) Alive(tid TID) bool { return n.Lookup(tid) != nil }
+
+// Notify registers watcher to receive an exit notification message (with
+// the given tag) when target dies. If target is already dead or unknown the
+// notification is delivered immediately, matching PVM semantics.
+func (n *Network) Notify(watcher, target TID, tag int) {
+	n.mu.Lock()
+	w := n.endpoints[watcher]
+	t, ok := n.endpoints[target]
+	dead := !ok || t.isDead()
+	if !dead {
+		set := n.watchers[target]
+		if set == nil {
+			set = make(map[TID]bool)
+			n.watchers[target] = set
+		}
+		set[watcher] = true
+	}
+	n.mu.Unlock()
+	if dead && w != nil {
+		w.deliver(&Message{Src: target, Dst: watcher, Tag: tag, Payload: exitPayload(target)})
+	}
+}
+
+// Kill atomically silences the endpoint: all queued messages are dropped,
+// blocked receivers return ErrKilled, subsequent sends to it vanish, and
+// every watcher receives an exit notification carrying the dead TID.
+// Killing an already-dead or unknown TID is a no-op.
+func (n *Network) Kill(tid TID, notifyTag int) {
+	n.mu.Lock()
+	e := n.endpoints[tid]
+	if e == nil || e.isDead() {
+		n.mu.Unlock()
+		return
+	}
+	watchers := n.watchers[tid]
+	delete(n.watchers, tid)
+	n.mu.Unlock()
+
+	e.kill()
+
+	for w := range watchers {
+		if we := n.Lookup(w); we != nil {
+			we.deliver(&Message{Src: tid, Dst: w, Tag: notifyTag, Payload: exitPayload(tid)})
+		}
+	}
+}
+
+// Close shuts the whole network down, unblocking every receiver with
+// ErrClosed. Used by tests and harness teardown.
+func (n *Network) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	eps := make([]*Endpoint, 0, len(n.endpoints))
+	for _, e := range n.endpoints {
+		eps = append(eps, e)
+	}
+	n.mu.Unlock()
+	for _, e := range eps {
+		e.closeNetwork()
+	}
+}
+
+// TIDs returns the ids of all live endpoints (order unspecified).
+func (n *Network) TIDs() []TID {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]TID, 0, len(n.endpoints))
+	for tid, e := range n.endpoints {
+		if !e.isDead() {
+			out = append(out, tid)
+		}
+	}
+	return out
+}
+
+// exitPayload encodes the dead task's id in the notification payload, as
+// PVM does.
+func exitPayload(t TID) []byte {
+	return []byte(fmt.Sprintf("%d", int(t)))
+}
+
+// ParseExitPayload decodes a notification payload produced by Kill.
+func ParseExitPayload(p []byte) (TID, error) {
+	var v int
+	_, err := fmt.Sscanf(string(p), "%d", &v)
+	if err != nil {
+		return NoTID, fmt.Errorf("netsim: bad exit payload %q: %w", p, err)
+	}
+	return TID(v), nil
+}

@@ -1,0 +1,190 @@
+// Package pvm reimplements the subset of PVM3 that SAM depends on: task
+// ids, spawn, tagged send/receive with wildcard matching, and failure
+// notification (pvm_notify with PvmTaskExit). It is a thin veneer over the
+// simulated cluster in internal/netsim, so "tasks" are goroutine groups
+// with private heaps rather than Unix processes; the interface semantics —
+// including the property that a restarted task gets a brand-new tid — match
+// PVM3's.
+package pvm
+
+import (
+	"fmt"
+	"sync"
+
+	"samft/internal/netsim"
+)
+
+// TID is a PVM task identifier.
+type TID = netsim.TID
+
+// Wildcards for Recv matching, as in pvm_recv(-1, -1).
+const (
+	AnySrc = netsim.AnySrc
+	AnyTag = netsim.AnyTag
+)
+
+// NoTID is the zero task id.
+const NoTID = netsim.NoTID
+
+// TagTaskExit is the reserved message tag used for exit notifications.
+// Application and SAM tags must be >= TagUserBase.
+const (
+	TagTaskExit = 1
+	TagUserBase = 16
+)
+
+// ErrKilled is returned from operations on a task that has been killed.
+var ErrKilled = netsim.ErrKilled
+
+// ErrHalted is returned when the virtual machine has been shut down.
+var ErrHalted = netsim.ErrClosed
+
+// Machine is the PVM virtual machine: the set of daemons on the simulated
+// cluster. All methods are safe for concurrent use.
+type Machine struct {
+	net *netsim.Network
+
+	mu    sync.Mutex
+	tasks map[TID]*Task
+}
+
+// NewMachine boots a virtual machine over a fresh simulated network.
+func NewMachine(cfg netsim.Config) *Machine {
+	return &Machine{
+		net:   netsim.New(cfg),
+		tasks: make(map[TID]*Task),
+	}
+}
+
+// Network exposes the underlying simulated network (for cost-model and
+// statistics access by the harness).
+func (m *Machine) Network() *netsim.Network { return m.net }
+
+// Spawn starts body as a new task and returns it. The body runs on its own
+// goroutine; when it returns, the task is marked done but its endpoint
+// stays reachable (a finished Unix process's messages would bounce, but
+// SAM tasks only finish at application end, after which the harness halts
+// the machine). A panic in the body is captured and reported via Task.Err.
+func (m *Machine) Spawn(name string, body func(*Task)) *Task {
+	ep := m.net.NewEndpoint()
+	t := &Task{
+		machine: m,
+		ep:      ep,
+		name:    name,
+		done:    make(chan struct{}),
+	}
+	m.mu.Lock()
+	m.tasks[ep.TID()] = t
+	m.mu.Unlock()
+
+	go t.run(body)
+	return t
+}
+
+// Kill terminates the task with extreme prejudice, as when a workstation
+// reboots: queued and in-flight messages are lost and watchers are
+// notified. Killing an unknown or dead tid is a no-op.
+func (m *Machine) Kill(tid TID) {
+	m.net.Kill(tid, TagTaskExit)
+}
+
+// Alive reports whether the tid denotes a live task.
+func (m *Machine) Alive(tid TID) bool { return m.net.Alive(tid) }
+
+// Task returns the Task for a tid, or nil.
+func (m *Machine) Task(tid TID) *Task {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.tasks[tid]
+}
+
+// Halt shuts the whole machine down, unblocking every task.
+func (m *Machine) Halt() { m.net.Close() }
+
+// Task is one PVM task: the handle through which a simulated process
+// communicates.
+type Task struct {
+	machine *Machine
+	ep      *netsim.Endpoint
+	name    string
+
+	done chan struct{}
+	mu   sync.Mutex
+	err  error // non-nil if body panicked with a real error
+}
+
+// TID returns the task's id.
+func (t *Task) TID() TID { return t.ep.TID() }
+
+// Name returns the task's spawn name (diagnostic only).
+func (t *Task) Name() string { return t.name }
+
+// Machine returns the owning virtual machine.
+func (t *Task) Machine() *Machine { return t.machine }
+
+// Endpoint exposes the task's network endpoint for clock/stat access.
+func (t *Task) Endpoint() *netsim.Endpoint { return t.ep }
+
+// Done is closed when the task body has returned (normally or via kill).
+func (t *Task) Done() <-chan struct{} { return t.done }
+
+// Err returns the error a task body panicked with, if any.
+func (t *Task) Err() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+func (t *Task) run(body func(*Task)) {
+	defer close(t.done)
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		t.mu.Lock()
+		if e, ok := r.(error); ok {
+			t.err = fmt.Errorf("pvm: task %d (%s) panicked: %w", t.TID(), t.name, e)
+		} else {
+			t.err = fmt.Errorf("pvm: task %d (%s) panicked: %v", t.TID(), t.name, r)
+		}
+		t.mu.Unlock()
+	}()
+	body(t)
+}
+
+// Send transmits payload to dst with the given tag. Sending to a dead task
+// silently succeeds (the bytes vanish in the network), as in real PVM over
+// UDP-like transports. Sending from a killed task returns ErrKilled;
+// higher layers use that to unwind the dead process.
+func (t *Task) Send(dst TID, tag int, payload []byte) error {
+	return t.ep.Send(dst, tag, payload)
+}
+
+// Recv blocks until a message matching src/tag arrives. It returns
+// ErrKilled if this task is killed while waiting.
+func (t *Task) Recv(src TID, tag int) (*netsim.Message, error) {
+	return t.ep.Recv(src, tag)
+}
+
+// TryRecv is the non-blocking pvm_nrecv: (nil, nil) when nothing matches.
+func (t *Task) TryRecv(src TID, tag int) (*netsim.Message, error) {
+	return t.ep.TryRecv(src, tag)
+}
+
+// Probe reports whether a matching message is queued (pvm_probe).
+func (t *Task) Probe(src TID, tag int) bool {
+	return t.ep.Probe(src, tag)
+}
+
+// Notify asks for a TagTaskExit message when target dies (pvm_notify).
+func (t *Task) Notify(target TID) {
+	t.machine.net.Notify(t.TID(), target, TagTaskExit)
+}
+
+// Charge advances the task's modeled clock by us microseconds of local
+// computation (see netsim.Endpoint.Charge).
+func (t *Task) Charge(us float64) { t.ep.Charge(us) }
+
+// ClockUS returns the task's modeled local time.
+func (t *Task) ClockUS() float64 { return t.ep.ClockUS() }

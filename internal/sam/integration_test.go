@@ -1,0 +1,537 @@
+package sam_test
+
+// Integration tests driving whole simulated clusters through the public
+// cluster harness: values, accumulators, chaotic reads, renames, pushes,
+// fault-tolerance policies, and kill-and-recover scenarios.
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"samft/internal/cluster"
+	"samft/internal/codec"
+	"samft/internal/ft"
+	"samft/internal/sam"
+)
+
+// ---- shared test types ----
+
+type emptyState struct{ X int64 }
+
+type counterBox struct{ V int64 }
+
+type token struct{ Rank int64 }
+
+type vecBox struct{ Vals []float64 }
+
+func init() {
+	codec.Register("test.emptyState", emptyState{})
+	codec.Register("test.counterBox", counterBox{})
+	codec.Register("test.token", token{})
+	codec.Register("test.vecBox", vecBox{})
+}
+
+// sink collects results across processes and incarnations; duplicates
+// from recovery replays are tolerated (first result wins).
+type sink struct {
+	mu   sync.Mutex
+	vals []int64
+}
+
+func (s *sink) put(v int64) {
+	s.mu.Lock()
+	s.vals = append(s.vals, v)
+	s.mu.Unlock()
+}
+
+func (s *sink) first(t *testing.T) int64 {
+	t.Helper()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.vals) == 0 {
+		t.Fatal("no result reported")
+	}
+	return s.vals[0]
+}
+
+// names
+var (
+	accTotal  = sam.MkName(1, 0, 0)
+	resultVal = sam.MkName(2, 0, 0)
+)
+
+func doneVal(rank int) sam.Name { return sam.MkName(3, rank, 0) }
+
+// counterApp: every rank increments a shared accumulator `incs` times,
+// then synchronizes through single-use values; rank 0 publishes the total.
+type counterApp struct {
+	rank, n int
+	incs    int64
+	out     *sink
+	hook    func(rank int, step int64) // test hook, called at each step start
+	st      emptyState
+}
+
+func (a *counterApp) Init(p *sam.Proc) {
+	if a.rank == 0 {
+		p.CreateAccum(accTotal, &counterBox{})
+	}
+}
+
+func (a *counterApp) Step(p *sam.Proc, step int64) bool {
+	if a.hook != nil {
+		a.hook(a.rank, step)
+	}
+	switch {
+	case step <= a.incs:
+		c := p.UpdateAccum(accTotal).(*counterBox)
+		c.V++
+		p.ReleaseAccum(accTotal)
+		return true
+	case step == a.incs+1:
+		if a.rank != 0 {
+			p.CreateValue(doneVal(a.rank), &token{Rank: int64(a.rank)}, 1)
+		}
+		return true
+	case step == a.incs+2:
+		if a.rank == 0 {
+			for r := 1; r < a.n; r++ {
+				tk := p.UseValue(doneVal(r)).(*token)
+				if tk.Rank != int64(r) {
+					panic("wrong token")
+				}
+				p.DoneValue(doneVal(r))
+			}
+			c := p.UpdateAccum(accTotal).(*counterBox)
+			total := c.V
+			p.ReleaseAccum(accTotal)
+			p.CreateValue(resultVal, &counterBox{V: total}, int64(a.n-1))
+			a.out.put(total)
+			return true
+		}
+		res := p.UseValue(resultVal).(*counterBox)
+		a.out.put(res.V)
+		p.DoneValue(resultVal)
+		return true
+	default:
+		return false
+	}
+}
+
+func (a *counterApp) Snapshot() interface{} { return &a.st }
+func (a *counterApp) Restore(s interface{}) { a.st = *(s.(*emptyState)) }
+
+// killAt returns a step hook that kills victim the first time it reaches
+// the given step (the kill is injected from inside the computation, so it
+// is deterministic with respect to application progress).
+func killAt(c **cluster.Cluster, victim int, step int64) func(int, int64) {
+	var once sync.Once
+	return func(rank int, s int64) {
+		if rank == victim && s >= step {
+			once.Do(func() { (*c).Kill(victim) })
+		}
+	}
+}
+
+func runCounter(t *testing.T, n int, incs int64, policy ft.Policy, hook func(int, int64)) (*sink, *cluster.Cluster) {
+	t.Helper()
+	out := &sink{}
+	c := cluster.New(cluster.Config{
+		N:      n,
+		Policy: policy,
+		AppFactory: func(rank int) sam.App {
+			return &counterApp{rank: rank, n: n, incs: incs, out: out, hook: hook}
+		},
+	})
+	c.Start()
+	if err := c.Wait(60 * time.Second); err != nil {
+		t.Fatalf("cluster: %v", err)
+	}
+	return out, c
+}
+
+func TestCounterNoFT(t *testing.T) {
+	out, _ := runCounter(t, 4, 25, ft.PolicyOff, nil)
+	if got := out.first(t); got != 100 {
+		t.Fatalf("total = %d, want 100", got)
+	}
+}
+
+func TestCounterSingleProc(t *testing.T) {
+	out, _ := runCounter(t, 1, 10, ft.PolicySAM, nil)
+	if got := out.first(t); got != 10 {
+		t.Fatalf("total = %d, want 10", got)
+	}
+}
+
+func TestCounterWithFT(t *testing.T) {
+	out, c := runCounter(t, 4, 25, ft.PolicySAM, nil)
+	if got := out.first(t); got != 100 {
+		t.Fatalf("total = %d, want 100", got)
+	}
+	r := c.Report()
+	if r.Total.Checkpoints == 0 {
+		t.Fatal("FT enabled but no checkpoints happened")
+	}
+	if r.Total.CkptCausingSends == 0 {
+		t.Fatal("accumulator migrations should cause checkpoint sends")
+	}
+}
+
+func TestCounterNaivePolicy(t *testing.T) {
+	out, c := runCounter(t, 4, 15, ft.PolicyNaive, nil)
+	if got := out.first(t); got != 60 {
+		t.Fatalf("total = %d, want 60", got)
+	}
+	r := c.Report()
+	if r.Total.Checkpoints == 0 {
+		t.Fatal("naive policy produced no checkpoints")
+	}
+}
+
+func TestCounterSurvivesWorkerKill(t *testing.T) {
+	var cl *cluster.Cluster
+	out := &sink{}
+	hook := killAt(&cl, 2, 30) // one hook instance: a replayed step must not re-kill
+	cl = cluster.New(cluster.Config{
+		N:      4,
+		Policy: ft.PolicySAM,
+		AppFactory: func(rank int) sam.App {
+			return &counterApp{rank: rank, n: 4, incs: 60, out: out, hook: hook}
+		},
+	})
+	cl.Start()
+	if err := cl.Wait(60 * time.Second); err != nil {
+		t.Fatalf("cluster: %v", err)
+	}
+	c := cl
+	if got := out.first(t); got != 240 {
+		t.Fatalf("total after recovery = %d, want 240", got)
+	}
+	var recoveries int64
+	for r := 0; r < 4; r++ {
+		recoveries += c.ProcStats(r).Recoveries.Load()
+	}
+	if recoveries == 0 {
+		t.Fatal("kill did not trigger a recovery")
+	}
+}
+
+func TestCounterSurvivesCoordinatorKill(t *testing.T) {
+	// Killing rank 0 exercises the coordinator fallback to rank 1.
+	var cl *cluster.Cluster
+	out := &sink{}
+	hook := killAt(&cl, 0, 30)
+	cl = cluster.New(cluster.Config{
+		N:      4,
+		Policy: ft.PolicySAM,
+		AppFactory: func(rank int) sam.App {
+			return &counterApp{rank: rank, n: 4, incs: 60, out: out, hook: hook}
+		},
+	})
+	cl.Start()
+	if err := cl.Wait(60 * time.Second); err != nil {
+		t.Fatalf("cluster: %v", err)
+	}
+	if got := out.first(t); got != 240 {
+		t.Fatalf("total after coordinator kill = %d, want 240", got)
+	}
+}
+
+func TestCounterSurvivesSequentialKills(t *testing.T) {
+	var cl *cluster.Cluster
+	out := &sink{}
+	k1 := killAt(&cl, 1, 20)
+	k3 := killAt(&cl, 3, 60)
+	cl = cluster.New(cluster.Config{
+		N:      4,
+		Policy: ft.PolicySAM,
+		AppFactory: func(rank int) sam.App {
+			return &counterApp{rank: rank, n: 4, incs: 80, out: out, hook: func(r int, s int64) { k1(r, s); k3(r, s) }}
+		},
+	})
+	cl.Start()
+	if err := cl.Wait(60 * time.Second); err != nil {
+		t.Fatalf("cluster: %v", err)
+	}
+	if got := out.first(t); got != 320 {
+		t.Fatalf("total after two recoveries = %d, want 320", got)
+	}
+}
+
+// ---- producer/consumer values with renaming and pushing ----
+
+type pipeApp struct {
+	rank, n int
+	rounds  int64
+	out     *sink
+	hook    func(rank int, step int64)
+	st      emptyState
+}
+
+func pipeVal(round int64) sam.Name { return sam.MkName(4, int(round), 0) }
+func pipeAck(round int64, rank int) sam.Name {
+	return sam.MkName(5, int(round), rank)
+}
+
+func (a *pipeApp) Init(p *sam.Proc) {}
+
+func (a *pipeApp) Step(p *sam.Proc, step int64) bool {
+	if a.hook != nil {
+		a.hook(a.rank, step)
+	}
+	if step > a.rounds {
+		return false
+	}
+	if a.rank == 0 {
+		// Producer: publish round data, push it to consumers, then wait
+		// for all acks of the *previous* round (bounded pipeline).
+		v := &vecBox{Vals: []float64{float64(step), float64(step * 2)}}
+		p.CreateValue(pipeVal(step), v, int64(a.n-1))
+		for r := 1; r < a.n; r++ {
+			p.Push(pipeVal(step), r)
+		}
+		for r := 1; r < a.n; r++ {
+			p.UseValue(pipeAck(step, r))
+			p.DoneValue(pipeAck(step, r))
+		}
+		if step == a.rounds {
+			a.out.put(step)
+		}
+		return true
+	}
+	// Consumers: read the round value, check, ack.
+	v := p.UseValue(pipeVal(step)).(*vecBox)
+	if len(v.Vals) != 2 || v.Vals[0] != float64(step) {
+		panic("corrupt pipeline value")
+	}
+	p.DoneValue(pipeVal(step))
+	p.CreateValue(pipeAck(step, a.rank), &token{Rank: int64(a.rank)}, 1)
+	if step == a.rounds {
+		a.out.put(step)
+	}
+	return true
+}
+
+func (a *pipeApp) Snapshot() interface{} { return &a.st }
+func (a *pipeApp) Restore(s interface{}) { a.st = *(s.(*emptyState)) }
+
+func runPipe(t *testing.T, n int, rounds int64, policy ft.Policy, hook func(int, int64)) *sink {
+	t.Helper()
+	out := &sink{}
+	c := cluster.New(cluster.Config{
+		N:      n,
+		Policy: policy,
+		AppFactory: func(rank int) sam.App {
+			return &pipeApp{rank: rank, n: n, rounds: rounds, out: out, hook: hook}
+		},
+	})
+	c.Start()
+	if err := c.Wait(60 * time.Second); err != nil {
+		t.Fatalf("cluster: %v", err)
+	}
+	return out
+}
+
+func TestPipelineValuesNoFT(t *testing.T) {
+	out := runPipe(t, 4, 30, ft.PolicyOff, nil)
+	if got := out.first(t); got != 30 {
+		t.Fatalf("rounds = %d", got)
+	}
+}
+
+func TestPipelineValuesFT(t *testing.T) {
+	out := runPipe(t, 4, 30, ft.PolicySAM, nil)
+	if got := out.first(t); got != 30 {
+		t.Fatalf("rounds = %d", got)
+	}
+}
+
+func TestPipelineSurvivesProducerKill(t *testing.T) {
+	var cl *cluster.Cluster
+	out := &sink{}
+	hook := killAt(&cl, 0, 30)
+	cl = cluster.New(cluster.Config{
+		N:      3,
+		Policy: ft.PolicySAM,
+		AppFactory: func(rank int) sam.App {
+			return &pipeApp{rank: rank, n: 3, rounds: 60, out: out, hook: hook}
+		},
+	})
+	cl.Start()
+	if err := cl.Wait(60 * time.Second); err != nil {
+		t.Fatalf("cluster: %v", err)
+	}
+	if got := out.first(t); got != 60 {
+		t.Fatalf("rounds after producer kill = %d", got)
+	}
+}
+
+// ---- chaotic reads ----
+
+type chaoticApp struct {
+	rank, n int
+	steps   int64
+	out     *sink
+	st      emptyState
+}
+
+var chaosAcc = sam.MkName(6, 0, 0)
+
+func (a *chaoticApp) Init(p *sam.Proc) {
+	if a.rank == 0 {
+		p.CreateAccum(chaosAcc, &counterBox{})
+	}
+}
+
+func (a *chaoticApp) Step(p *sam.Proc, step int64) bool {
+	if step > a.steps {
+		return false
+	}
+	if a.rank == 0 {
+		c := p.UpdateAccum(chaosAcc).(*counterBox)
+		c.V = step
+		p.ReleaseAccum(chaosAcc)
+	} else {
+		// A chaotic read sees *some* recent version: monotonicity or
+		// exactness is not guaranteed, only type-correct recent data.
+		v := p.ChaoticRead(chaosAcc).(*counterBox)
+		if v.V < 0 || v.V > a.steps {
+			panic("chaotic read out of range")
+		}
+		if step == a.steps {
+			a.out.put(v.V)
+		}
+	}
+	return true
+}
+
+func (a *chaoticApp) Snapshot() interface{} { return &a.st }
+func (a *chaoticApp) Restore(s interface{}) { a.st = *(s.(*emptyState)) }
+
+func TestChaoticReads(t *testing.T) {
+	out := &sink{}
+	c := cluster.New(cluster.Config{
+		N:      3,
+		Policy: ft.PolicySAM,
+		AppFactory: func(rank int) sam.App {
+			return &chaoticApp{rank: rank, n: 3, steps: 40, out: out}
+		},
+	})
+	if _, err := c.Run(60 * time.Second); err != nil {
+		t.Fatalf("cluster: %v", err)
+	}
+	out.first(t) // at least one consumer observed a recent version
+}
+
+// ---- rename (storage reuse) ----
+
+type renameApp struct {
+	rank, n int
+	rounds  int64
+	out     *sink
+	st      emptyState
+}
+
+func genVal(round int64) sam.Name { return sam.MkName(7, int(round), 0) }
+
+func (a *renameApp) Init(p *sam.Proc) {
+	if a.rank == 0 {
+		p.CreateValue(genVal(0), &vecBox{Vals: []float64{0}}, int64(a.n-1))
+	}
+}
+
+func (a *renameApp) Step(p *sam.Proc, step int64) bool {
+	if step > a.rounds {
+		return false
+	}
+	if a.rank == 0 {
+		// Renaming blocks until all consumers have used the old round.
+		v := p.RenameValue(genVal(step-1), genVal(step)).(*vecBox)
+		v.Vals[0] = float64(step)
+		p.CreateRenamed(genVal(step), v, int64(a.n-1))
+		if step == a.rounds {
+			a.out.put(step)
+		}
+		return true
+	}
+	got := p.UseValue(genVal(step - 1)).(*vecBox)
+	if got.Vals[0] != float64(step-1) {
+		panic("stale renamed value")
+	}
+	p.DoneValue(genVal(step - 1))
+	if step == a.rounds {
+		a.out.put(step)
+	}
+	return true
+}
+
+func (a *renameApp) Snapshot() interface{} { return &a.st }
+func (a *renameApp) Restore(s interface{}) { a.st = *(s.(*emptyState)) }
+
+func TestRenameChain(t *testing.T) {
+	for _, policy := range []ft.Policy{ft.PolicyOff, ft.PolicySAM} {
+		out := &sink{}
+		c := cluster.New(cluster.Config{
+			N:      3,
+			Policy: policy,
+			AppFactory: func(rank int) sam.App {
+				return &renameApp{rank: rank, n: 3, rounds: 20, out: out}
+			},
+		})
+		if _, err := c.Run(60 * time.Second); err != nil {
+			t.Fatalf("policy %v: %v", policy, err)
+		}
+		if got := out.first(t); got != 20 {
+			t.Fatalf("policy %v: rounds = %d", policy, got)
+		}
+	}
+}
+
+// ---- eager-free ablation ----
+
+func TestEagerFreeAblation(t *testing.T) {
+	out := &sink{}
+	c := cluster.New(cluster.Config{
+		N:         3,
+		Policy:    ft.PolicySAM,
+		EagerFree: true,
+		AppFactory: func(rank int) sam.App {
+			return &counterApp{rank: rank, n: 3, incs: 10, out: out}
+		},
+	})
+	rep, err := c.Run(60 * time.Second)
+	if err != nil {
+		t.Fatalf("cluster: %v", err)
+	}
+	if got := out.first(t); got != 30 {
+		t.Fatalf("total = %d", got)
+	}
+	if rep.Total.ForceCkptMsgsSent == 0 {
+		t.Fatal("eager free sent no force-checkpoint messages")
+	}
+}
+
+// ---- replication degree ----
+
+func TestReplicationDegree2(t *testing.T) {
+	out := &sink{}
+	c := cluster.New(cluster.Config{
+		N:      4,
+		Policy: ft.PolicySAM,
+		Degree: 2,
+		AppFactory: func(rank int) sam.App {
+			return &counterApp{rank: rank, n: 4, incs: 20, out: out}
+		},
+	})
+	c.Start()
+	time.Sleep(25 * time.Millisecond)
+	c.Kill(3)
+	if err := c.Wait(60 * time.Second); err != nil {
+		t.Fatalf("cluster: %v", err)
+	}
+	if got := out.first(t); got != 80 {
+		t.Fatalf("total = %d, want 80", got)
+	}
+}

@@ -1,0 +1,529 @@
+package sam
+
+import (
+	"samft/internal/codec"
+	"samft/internal/ft"
+	"samft/internal/netsim"
+	"samft/internal/pvm"
+)
+
+// This file implements §4.5: failure detection via PVM notifications, the
+// coordinator-driven restart of the failed process under a fresh task id,
+// and the restoration of its private state, owned objects, directory
+// information, and checkpoint copies by the surviving processes.
+
+// restoreState tracks a recovering process's progress toward resumption.
+type restoreState struct {
+	priv       *ft.PrivateState
+	privSeq    int64
+	freshVotes map[int]bool
+	data       map[Name]*wire // best kRecoverData per name
+	done       bool
+}
+
+func newRestoreState() *restoreState {
+	return &restoreState{
+		freshVotes: make(map[int]bool),
+		data:       make(map[Name]*wire),
+	}
+}
+
+type restoreResult struct {
+	fresh bool
+	steps int64
+	snap  []byte
+}
+
+// awaitRestore blocks the application goroutine until the runtime has
+// assembled the recovered state.
+func (p *Proc) awaitRestore() (fresh bool, steps int64, snap []byte) {
+	select {
+	case r := <-p.restorec:
+		return r.fresh, r.steps, r.snap
+	case <-p.deadc:
+		panic(procKilled{p.cfg.Rank})
+	}
+}
+
+// ---- failure detection ----
+
+// handleTaskExit processes a PVM task-exit notification.
+func (p *Proc) handleTaskExit(dead netsim.TID) {
+	rank := -1
+	for r, tid := range p.ranks {
+		if tid == dead {
+			rank = r
+			break
+		}
+	}
+	if rank < 0 || rank == p.cfg.Rank {
+		return // stale incarnation or self: ignore
+	}
+	coord := ft.CoordinatorRank(rank)
+	if coord == p.cfg.Rank {
+		p.startRecovery(rank, dead)
+		return
+	}
+	// Report to the distinguished process (paper step 1). The coordinator
+	// also receives its own notification; this covers delivery races.
+	p.send(coord, &wire{Kind: kFailed, Target: rank, Seq: int64(dead)})
+}
+
+func (p *Proc) onFailed(w *wire) {
+	if ft.CoordinatorRank(w.Target) != p.cfg.Rank {
+		return
+	}
+	p.startRecovery(w.Target, netsim.TID(w.Seq))
+}
+
+// startRecovery runs on the coordinator: restart the failed rank and tell
+// everyone. Duplicate reports are filtered by comparing the dead tid with
+// the current rank table — once a restart happened the table moved on.
+func (p *Proc) startRecovery(rank int, dead netsim.TID) {
+	if p.ranks[rank] != dead {
+		return // already recovered (or the report is stale)
+	}
+	if p.cfg.Respawn == nil {
+		return // harness does not support recovery (tests without it)
+	}
+	newTID := p.cfg.Respawn(rank)
+	if newTID == pvm.NoTID {
+		return // harness is shutting down
+	}
+	p.st.Recoveries.Add(1)
+	p.handleRecoveryLocal(rank, newTID)
+	for r := range p.ranks {
+		if r == p.cfg.Rank || r == rank {
+			continue
+		}
+		p.send(r, &wire{Kind: kRecovery, Target: rank, NewTID: int(newTID)})
+	}
+}
+
+func (p *Proc) onRecovery(w *wire) {
+	p.handleRecoveryLocal(w.Target, netsim.TID(w.NewTID))
+}
+
+// handleRecoveryLocal is each surviving process's part of §4.5: update the
+// rank table, then supply the new process with everything it needs.
+func (p *Proc) handleRecoveryLocal(rank int, newTID netsim.TID) {
+	if rank == p.cfg.Rank || p.ranks[rank] == newTID {
+		return
+	}
+	p.ranks[rank] = newTID
+	p.task.Notify(newTID)
+
+	// Drop everything provisional from the failed process's uncommitted
+	// checkpoint: it recovers from its last *committed* state.
+	p.dropProvisionalFrom(rank)
+
+	// Private state of the failed process.
+	if b, ok := p.privStore[rank]; ok {
+		p.send(rank, &wire{Kind: kRecoverPriv, Body: b, Seq: p.privStoreSeq[rank]})
+	} else {
+		for _, h := range ft.PrivateStateRanks(rank, p.cfg.N, p.cfg.Degree) {
+			if h == p.cfg.Rank {
+				p.send(rank, &wire{Kind: kRecoverPriv, Fresh: true})
+			}
+		}
+	}
+
+	// Re-replicate our own private state if its copy lived on the failed
+	// process (guards the window until our next checkpoint).
+	for _, h := range ft.PrivateStateRanks(p.cfg.Rank, p.cfg.N, p.cfg.Degree) {
+		if h == rank && p.lastPrivBytes != nil {
+			p.send(rank, &wire{Kind: kCkptPriv, Body: p.lastPrivBytes, Seq: p.lastPrivSeq, Piece: -1})
+		}
+	}
+
+	for _, o := range p.objs {
+		// Checkpoint copies whose main copy was at the failed process:
+		// restore them (the new process again holds the main copy).
+		if o.ckptCopy && o.copyOwner == rank {
+			p.send(rank, &wire{
+				Kind: kRecoverData, Name: uint64(o.name), Body: o.copyBytes,
+				Meta: o.savedMeta, HasMeta: true, Seq: o.copySeq,
+			})
+		}
+		if o.isMain && o.created {
+			// Main copies whose checkpoint copy lived on the failed
+			// process: send a fresh (covered) checkpoint copy.
+			for _, h := range ft.CheckpointRanks(uint64(o.name), p.cfg.Rank, p.cfg.N, p.cfg.Degree) {
+				if h != rank {
+					continue
+				}
+				body := o.ckptBytes
+				if body == nil && !o.dirty && o.kind == ft.KindValue {
+					// Values are immutable: the current contents equal the
+					// checkpointed image.
+					b, err := codec.Pack(o.data)
+					if err == nil {
+						body = b
+					}
+				}
+				if body != nil && o.ckptSeq > 0 {
+					p.send(rank, &wire{
+						Kind: kCkptCopy, Name: uint64(o.name), Body: body,
+						Seq: o.ckptSeq, Meta: o.ckptMeta, HasMeta: true, Piece: -1,
+					})
+				}
+			}
+			// Directory information homed at the failed process.
+			if p.home(o.name) == rank {
+				p.send(rank, &wire{Kind: kDirReport, Name: uint64(o.name), Meta: o.meta(), HasMeta: true})
+			}
+		}
+		// As a previous holder of an accumulator whose last outbound
+		// migration went to the failed process, hint its ownership with
+		// the version at that migration. The hint may be stale (ownership
+		// may have moved on); the new process only believes the hints if
+		// no live process claims the main copy.
+		if o.kind == ft.KindAccum && !o.isMain && o.ownerRank == rank && o.usable() {
+			p.send(rank, &wire{Kind: kOwnerHint, Name: uint64(o.name), Meta: ft.ObjectMeta{Version: o.version}, HasMeta: true})
+		}
+		// Requests outstanding to anyone are re-issued; the failed process
+		// may have lost them (queued at its directory or owner role).
+		if o.fetchOutstanding && o.reqKind != 0 {
+			h := p.home(o.name)
+			if h == p.cfg.Rank {
+				switch o.reqKind {
+				case kValReq:
+					p.localValReq(o.name, p.cfg.Rank)
+				case kAccAcq:
+					p.localAccAcq(o.name, p.cfg.Rank)
+				case kAccSnapReq:
+					p.localAccSnapReq(o.name, p.cfg.Rank)
+				}
+			} else {
+				p.send(h, &wire{Kind: o.reqKind, Name: uint64(o.name)})
+			}
+		}
+	}
+
+	// Re-drive accumulator migration grants that were addressed to the
+	// failed owner (lost with it); the restored owner replays the
+	// release-and-migrate. As the home, also confirm to the new process
+	// which objects it owns — recovery data for objects acquired after
+	// its last checkpoint is only installed once confirmed.
+	for _, d := range p.dir {
+		if d.known && d.owner == rank {
+			p.send(rank, &wire{Kind: kOwnerReport, Name: uint64(d.name)})
+		}
+		if d.grantInFlight && d.owner == rank {
+			p.send(rank, &wire{Kind: kAccGrant, Name: uint64(d.name), Target: d.grantTarget})
+		}
+	}
+
+	// Abort-and-restart our in-flight checkpoint pieces addressed to the
+	// failed process: even acked pieces died with its memory, so all are
+	// re-sent to the new incarnation (duplicate acks are filtered by
+	// piece number).
+	if p.tx != nil {
+		for i := range p.tx.pieces {
+			pc := &p.tx.pieces[i]
+			if pc.rank == rank {
+				p.send(rank, pc.w)
+			}
+		}
+	}
+
+	// Everything this survivor contributes has been sent; the new process
+	// decides orphan ownership once all contributions are in.
+	p.send(rank, &wire{Kind: kRecoverFin})
+}
+
+// dropProvisionalFrom discards uncommitted checkpoint state received from
+// a process that failed before activating it: the staged private state,
+// staged checkpoint copies, and inactive data objects. Fetches satisfied
+// only by dropped inactive data are re-issued.
+func (p *Proc) dropProvisionalFrom(rank int) {
+	delete(p.privStaging, rank)
+	for _, o := range p.objs {
+		if o.pendingCopy != nil && o.pendingCopy.SrcRank == rank {
+			o.pendingCopy = nil
+		}
+		if o.state == stInactive && o.inactiveFrom == rank {
+			// Revert to absent and re-drive the request so the restored
+			// process serves it again after its replay.
+			o.state = stAbsent
+			o.data = nil
+			o.isMain = false
+			o.created = false
+			if len(o.waiters) > 0 && o.fetchOutstanding && o.reqKind != 0 {
+				h := p.home(o.name)
+				if h == p.cfg.Rank {
+					switch o.reqKind {
+					case kValReq:
+						p.localValReq(o.name, p.cfg.Rank)
+					case kAccAcq:
+						p.localAccAcq(o.name, p.cfg.Rank)
+					case kAccSnapReq:
+						p.localAccSnapReq(o.name, p.cfg.Rank)
+					}
+				} else {
+					p.send(h, &wire{Kind: o.reqKind, Name: uint64(o.name)})
+				}
+			}
+		}
+	}
+}
+
+// ---- recovering-process side ----
+
+func (p *Proc) onRecoverPriv(w *wire) {
+	if p.restore == nil || p.restore.done {
+		return
+	}
+	if w.Fresh {
+		p.restore.freshVotes[w.SrcRank] = true
+		p.checkRestoreComplete()
+		return
+	}
+	if p.restore.priv == nil || w.Seq > p.restore.privSeq {
+		v, err := codec.Unpack(w.Body)
+		if err != nil {
+			return
+		}
+		priv, ok := v.(*ft.PrivateState)
+		if !ok {
+			return
+		}
+		p.restore.priv = priv
+		p.restore.privSeq = w.Seq
+	}
+	p.checkRestoreComplete()
+}
+
+func (p *Proc) onRecoverData(w *wire) {
+	if p.restore != nil && !p.restore.done {
+		name := Name(w.Name)
+		prev := p.restore.data[name]
+		better := prev == nil
+		if !better && w.HasMeta && prev.HasMeta {
+			better = w.Meta.Version >= prev.Meta.Version
+		} else if !better {
+			better = w.SrcRank != prev.SrcRank || w.Seq >= prev.Seq
+		}
+		if better {
+			p.restore.data[name] = w
+		}
+		p.checkRestoreComplete()
+		return
+	}
+	// Late or post-restore arrival (e.g. an accumulator acquired after the
+	// failed process's last checkpoint): install only once ownership is
+	// confirmed — a stale checkpoint copy naming us as owner must not fork
+	// the object (the real main may be alive elsewhere).
+	p.stashOrInstall(w)
+}
+
+// stashOrInstall installs recovery data for a name missing from the
+// private state once (and only once) its ownership is confirmed.
+func (p *Proc) stashOrInstall(w *wire) {
+	name := Name(w.Name)
+	if o := p.objs[name]; o != nil && o.isMain && o.created {
+		return
+	}
+	if p.ownerConfirmed[name] {
+		p.installRecoveredMain(w, nil)
+		return
+	}
+	prev := p.unconfirmedData[name]
+	better := prev == nil
+	if !better && w.HasMeta && prev.HasMeta {
+		better = w.Meta.Version >= prev.Meta.Version
+	} else if !better {
+		better = w.SrcRank != prev.SrcRank || w.Seq >= prev.Seq
+	}
+	if better {
+		p.unconfirmedData[name] = w
+	}
+}
+
+// onOwnerReport records that a surviving home asserts we own the named
+// object (authoritative: homes learn ownership only from committed
+// migrations), and installs any stashed recovery data.
+func (p *Proc) onOwnerReport(w *wire) {
+	name := Name(w.Name)
+	p.ownerConfirmed[name] = true
+	if d, ok := p.unconfirmedData[name]; ok {
+		delete(p.unconfirmedData, name)
+		p.installRecoveredMain(d, nil)
+	}
+}
+
+// onOwnerHint records a version-stamped claim that an object's last known
+// migration pointed at this process. Hints are only believed after every
+// survivor has reported and no live process claims the main copy.
+func (p *Proc) onOwnerHint(w *wire) {
+	name := Name(w.Name)
+	if w.Meta.Version >= p.orphanHints[name] {
+		p.orphanHints[name] = w.Meta.Version
+	}
+	p.decideOrphans()
+}
+
+func (p *Proc) onRecoverFin(w *wire) {
+	p.finsGot[w.SrcRank] = true
+	p.decideOrphans()
+}
+
+// decideOrphans resolves ownership of objects that were migrating around
+// this process's death and are absent from its private state. It runs
+// once, after every survivor's recovery contribution has arrived: if no
+// live process claimed an object's main copy (via kDirReport / its own
+// operation), the most recent committed migration pointed here, so this
+// process owns it.
+func (p *Proc) decideOrphans() {
+	if p.orphansDecided || len(p.finsGot) < p.cfg.N-1 {
+		return
+	}
+	p.orphansDecided = true
+	for name := range p.orphanHints {
+		if p.home(name) != p.cfg.Rank {
+			// An alive home is authoritative: it sends kOwnerReport when
+			// this process owns the object, so a hint alone proves
+			// nothing (it may predate later migrations).
+			continue
+		}
+		if o := p.objs[name]; o != nil && o.isMain && o.created {
+			continue
+		}
+		if d, ok := p.dir[name]; ok && d.known && d.owner != p.cfg.Rank {
+			continue // a live process claimed the main copy
+		}
+		p.ownerConfirmed[name] = true
+		if w, ok := p.unconfirmedData[name]; ok {
+			delete(p.unconfirmedData, name)
+			p.installRecoveredMain(w, nil)
+		}
+	}
+}
+
+func (p *Proc) onDirReport(w *wire) {
+	d := p.dirEnt(Name(w.Name))
+	d.known = true
+	d.owner = w.SrcRank
+	if w.HasMeta {
+		d.kind = ft.ObjKind(w.Meta.Kind)
+	}
+	pf := d.pendingFetch
+	d.pendingFetch = nil
+	for _, r := range pf {
+		p.localValReq(d.name, r)
+	}
+	ps := d.pendingSnap
+	d.pendingSnap = nil
+	for _, r := range ps {
+		p.localAccSnapReq(d.name, r)
+	}
+	p.pumpAccumQueue(d)
+}
+
+// checkRestoreComplete resumes the application once the private state and
+// every non-freeable owned object's data have arrived. Objects already
+// marked freeable at the checkpoint may have been legitimately reclaimed
+// since; the replay never touches them.
+func (p *Proc) checkRestoreComplete() {
+	rs := p.restore
+	if rs == nil || rs.done {
+		return
+	}
+	if rs.priv == nil {
+		// Fresh restart only once every private-state holder has denied
+		// having a copy.
+		holders := ft.PrivateStateRanks(p.cfg.Rank, p.cfg.N, p.cfg.Degree)
+		if len(rs.freshVotes) < len(holders) {
+			return
+		}
+		rs.done = true
+		p.restore = nil
+		p.restorec <- restoreResult{fresh: true}
+		return
+	}
+	metaFor := make(map[Name]ft.ObjectMeta, len(rs.priv.Owned))
+	for _, m := range rs.priv.Owned {
+		metaFor[Name(m.Name)] = m
+		if m.Freeable {
+			continue
+		}
+		if _, ok := rs.data[Name(m.Name)]; !ok {
+			return // still waiting for this object's data
+		}
+	}
+
+	// Everything needed has arrived: restore.
+	priv := rs.priv
+	p.clocks.Restore(priv.T, priv.C, priv.D)
+	p.stepsDone = priv.StepsDone
+	p.boundarySnap = priv.AppState
+	p.hasCheckpointed = true
+	p.lastPrivSeq = priv.Seq
+
+	for name, w := range rs.data {
+		if m, ok := metaFor[name]; ok {
+			p.installRecoveredMain(w, &m)
+		} else {
+			// Not owned at the last checkpoint: only an ownership
+			// confirmation from the home or the previous holder may
+			// promote this data to a main copy.
+			p.stashOrInstall(w)
+		}
+	}
+	rs.done = true
+	p.restore = nil
+	p.restorec <- restoreResult{fresh: false, steps: priv.StepsDone, snap: priv.AppState}
+}
+
+// installRecoveredMain re-creates the main copy of an object from a
+// checkpoint copy. meta, when non-nil, is the (newer) record from the
+// private state; otherwise the copy's carried metadata applies.
+func (p *Proc) installRecoveredMain(w *wire, meta *ft.ObjectMeta) {
+	name := Name(w.Name)
+	o := p.obj(name)
+	if o.isMain && o.created {
+		return
+	}
+	data, err := codec.Unpack(w.Body)
+	if err != nil {
+		return
+	}
+	o.data = data
+	o.state = stPresent
+	o.isMain = true
+	o.created = true
+	o.dirty = false
+	o.fetchOutstanding = false
+	if meta != nil {
+		o.applyMeta(*meta)
+	} else if w.HasMeta {
+		o.applyMeta(w.Meta)
+	}
+	if o.kind == ft.KindAccum {
+		o.ckptBytes = w.Body
+	}
+	o.ckptMeta = o.meta()
+	o.ckptSeq = w.Seq
+	o.lastCkptHolders = ft.CheckpointRanks(uint64(name), p.cfg.Rank, p.cfg.N, p.cfg.Degree)
+	o.pendingMove = -1
+	p.touch(o)
+
+	if p.home(name) == p.cfg.Rank {
+		d := p.dirEnt(name)
+		d.known = true
+		d.owner = p.cfg.Rank
+		d.kind = o.kind
+		p.pumpAccumQueue(d)
+	}
+	if o.freeable {
+		p.freePending[name] = true
+	}
+	p.serveLocalWaiters(o)
+	p.serveRemoteWaiters(o)
+	// Serve migration grants that raced ahead of the restoration.
+	grants := o.pendingGrants
+	o.pendingGrants = nil
+	for _, g := range grants {
+		p.handleGrant(name, g)
+	}
+}

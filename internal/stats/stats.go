@@ -1,0 +1,156 @@
+// Package stats collects the per-process counters behind the tables of the
+// paper's §5: checkpoint rates, the fraction of shared-object sends that
+// cause checkpoints, force-checkpoint traffic, and shared-data miss rates.
+//
+// Counters are updated with atomics: each is written by its process's
+// runtime goroutine and read by the harness while the run is still in
+// flight (progress reporting) or after it completes.
+package stats
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Proc holds one process's counters.
+type Proc struct {
+	// Checkpoints counts committed checkpoints.
+	Checkpoints atomic.Int64
+	// ForcedCheckpoints counts checkpoints performed in response to a
+	// force-checkpoint message (a subset of Checkpoints).
+	ForcedCheckpoints atomic.Int64
+	// ForceCkptMsgsSent counts force-checkpoint messages this process sent
+	// to reclaim freeable main copies.
+	ForceCkptMsgsSent atomic.Int64
+	// ObjectSends counts sends of shared objects to other processes
+	// (value data, accumulator migrations, pushes).
+	ObjectSends atomic.Int64
+	// CkptCausingSends counts object sends that required a checkpoint
+	// first, i.e. sends of nonreproducible data.
+	CkptCausingSends atomic.Int64
+	// SharedAccesses counts application accesses to shared data
+	// (value uses, accumulator updates, chaotic reads).
+	SharedAccesses atomic.Int64
+	// Misses counts shared accesses that could not be satisfied from the
+	// local cache and required communication.
+	Misses atomic.Int64
+	// ReplicaObjects / ReplicaBytes count checkpoint copies sent out.
+	ReplicaObjects atomic.Int64
+	ReplicaBytes   atomic.Int64
+	// PrivBytes counts private-state bytes replicated.
+	PrivBytes atomic.Int64
+	// Recoveries counts recoveries this process coordinated.
+	Recoveries atomic.Int64
+	// StepsExecuted counts application steps completed (including replays).
+	StepsExecuted atomic.Int64
+}
+
+// Snapshot is a plain-value copy of a Proc's counters.
+type Snapshot struct {
+	Checkpoints       int64
+	ForcedCheckpoints int64
+	ForceCkptMsgsSent int64
+	ObjectSends       int64
+	CkptCausingSends  int64
+	SharedAccesses    int64
+	Misses            int64
+	ReplicaObjects    int64
+	ReplicaBytes      int64
+	PrivBytes         int64
+	Recoveries        int64
+	StepsExecuted     int64
+}
+
+// Snapshot returns a consistent-enough copy for reporting.
+func (p *Proc) Snapshot() Snapshot {
+	return Snapshot{
+		Checkpoints:       p.Checkpoints.Load(),
+		ForcedCheckpoints: p.ForcedCheckpoints.Load(),
+		ForceCkptMsgsSent: p.ForceCkptMsgsSent.Load(),
+		ObjectSends:       p.ObjectSends.Load(),
+		CkptCausingSends:  p.CkptCausingSends.Load(),
+		SharedAccesses:    p.SharedAccesses.Load(),
+		Misses:            p.Misses.Load(),
+		ReplicaObjects:    p.ReplicaObjects.Load(),
+		ReplicaBytes:      p.ReplicaBytes.Load(),
+		PrivBytes:         p.PrivBytes.Load(),
+		Recoveries:        p.Recoveries.Load(),
+		StepsExecuted:     p.StepsExecuted.Load(),
+	}
+}
+
+// Add accumulates another snapshot into s.
+func (s *Snapshot) Add(o Snapshot) {
+	s.Checkpoints += o.Checkpoints
+	s.ForcedCheckpoints += o.ForcedCheckpoints
+	s.ForceCkptMsgsSent += o.ForceCkptMsgsSent
+	s.ObjectSends += o.ObjectSends
+	s.CkptCausingSends += o.CkptCausingSends
+	s.SharedAccesses += o.SharedAccesses
+	s.Misses += o.Misses
+	s.ReplicaObjects += o.ReplicaObjects
+	s.ReplicaBytes += o.ReplicaBytes
+	s.PrivBytes += o.PrivBytes
+	s.Recoveries += o.Recoveries
+	s.StepsExecuted += o.StepsExecuted
+}
+
+// Report is the paper-style statistics block for a whole run.
+type Report struct {
+	Procs   int
+	Total   Snapshot
+	Elapsed float64 // modeled seconds (max over process clocks)
+}
+
+// CheckpointsPerProcPerSec is the paper's "checkpoints executed on each
+// processor per second" row.
+func (r Report) CheckpointsPerProcPerSec() float64 {
+	if r.Procs == 0 || r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Total.Checkpoints) / float64(r.Procs) / r.Elapsed
+}
+
+// PctSendsCausingCheckpoint is the paper's "percentage of sends of shared
+// objects that cause checkpoints" row.
+func (r Report) PctSendsCausingCheckpoint() float64 {
+	if r.Total.ObjectSends == 0 {
+		return 0
+	}
+	return 100 * float64(r.Total.CkptCausingSends) / float64(r.Total.ObjectSends)
+}
+
+// ForceCkptMsgsPerProcPerSec is the "force-checkpoint messages sent out on
+// each processor per second" row.
+func (r Report) ForceCkptMsgsPerProcPerSec() float64 {
+	if r.Procs == 0 || r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Total.ForceCkptMsgsSent) / float64(r.Procs) / r.Elapsed
+}
+
+// ForcedCkptsPerProcPerSec is the "forced checkpoints on each processor
+// per second" row.
+func (r Report) ForcedCkptsPerProcPerSec() float64 {
+	if r.Procs == 0 || r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Total.ForcedCheckpoints) / float64(r.Procs) / r.Elapsed
+}
+
+// MissRatePct is the "average miss rate on shared data" row.
+func (r Report) MissRatePct() float64 {
+	if r.Total.SharedAccesses == 0 {
+		return 0
+	}
+	return 100 * float64(r.Total.Misses) / float64(r.Total.SharedAccesses)
+}
+
+// String renders the report in the layout of the paper's per-figure
+// tables.
+func (r Report) String() string {
+	return fmt.Sprintf(
+		"procs=%d elapsed=%.3fs ckpts/proc/s=%.3f sends-ckpt%%=%.2f force-msgs/proc/s=%.4f forced-ckpts/proc/s=%.4f miss%%=%.2f",
+		r.Procs, r.Elapsed, r.CheckpointsPerProcPerSec(), r.PctSendsCausingCheckpoint(),
+		r.ForceCkptMsgsPerProcPerSec(), r.ForcedCkptsPerProcPerSec(), r.MissRatePct())
+}
