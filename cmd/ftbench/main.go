@@ -2,14 +2,18 @@
 // for GPS, Water, and Barnes-Hut with and without fault tolerance
 // (Figures 3–5 and their statistics tables), the recovery-time result,
 // and the ablations from DESIGN.md (naive checkpointing policy,
-// replication degree, eager freeing, and the consistent-global-checkpoint
-// baseline).
+// replication degree, eager freeing, the consistent-global-checkpoint
+// baseline, and the snapshot-cache ablation).
+//
+// Independent cells of each sweep run concurrently (bounded by -par);
+// output ordering is identical to a sequential sweep.
 //
 // Usage:
 //
 //	ftbench -exp all            # everything, small scale
 //	ftbench -exp gps -scale paper -procs 1,2,4,8
 //	ftbench -exp recovery
+//	ftbench -exp water -par 1   # sequential baseline for timing
 package main
 
 import (
@@ -18,15 +22,17 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"samft/internal/experiments"
 	"samft/internal/ft"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: gps|water|barnes|recovery|ablation-naive|ablation-degree|ablation-force|baseline-consistent|all")
+	exp := flag.String("exp", "all", "experiment: gps|water|barnes|recovery|ablation-naive|ablation-degree|ablation-force|ablation-snapcache|baseline-consistent|all")
 	scaleFlag := flag.String("scale", "small", "workload scale: small|paper")
 	procsFlag := flag.String("procs", "1,2,4,8", "comma-separated processor counts")
+	par := flag.Int("par", 0, "max concurrent cluster simulations (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	scale := experiments.Small
@@ -36,6 +42,9 @@ func main() {
 	procs, err := parseProcs(*procsFlag)
 	if err != nil {
 		fatal(err)
+	}
+	if *par > 0 {
+		experiments.SetParallelism(*par)
 	}
 
 	run := func(name string, f func() error) {
@@ -54,6 +63,7 @@ func main() {
 	run("ablation-naive", func() error { return ablationNaive(scale, procs) })
 	run("ablation-degree", func() error { return ablationDegree(scale) })
 	run("ablation-force", func() error { return ablationForce(scale) })
+	run("ablation-snapcache", func() error { return ablationSnapCache(scale) })
 	run("baseline-consistent", func() error { return baselineConsistent(scale, procs) })
 }
 
@@ -76,17 +86,22 @@ func fatal(err error) {
 
 // figure reproduces one of Figures 3–5.
 func figure(app experiments.AppKind, scale experiments.Scale, procs []int) error {
+	start := time.Now()
 	fig, err := experiments.RunFigure(app, scale, procs)
 	if err != nil {
 		return err
 	}
+	wall := time.Since(start).Seconds()
 	fig.Print(os.Stdout)
-	fmt.Println()
+	fmt.Printf("(%d cells in %.2fs wall, parallelism=%d)\n\n",
+		2*len(procs), wall, experiments.Parallelism())
 	return nil
 }
 
 // recovery reproduces the "recovery takes on the order of a few seconds"
 // result (E4): kill one of the processes mid-run for each application.
+// These cells run sequentially on purpose: RecoverySec is a wall-clock
+// measurement and must not share the machine with other simulations.
 func recovery(scale experiments.Scale) error {
 	fmt.Println("== Recovery (kill one process mid-run, E4) ==")
 	fmt.Printf("%-12s %8s %10s %14s %12s\n", "app", "procs", "killed", "recovery(s)", "answer-ok")
@@ -113,23 +128,26 @@ func recovery(scale experiments.Scale) error {
 func ablationNaive(scale experiments.Scale, procs []int) error {
 	fmt.Println("== Ablation A1: SAM-informed policy vs naive every-send checkpointing ==")
 	fmt.Printf("%-12s %6s %14s %14s %16s %16s\n", "app", "procs", "T(sam) s", "T(naive) s", "ckpts/ps (sam)", "ckpts/ps (naive)")
+	var specs []experiments.Spec
 	for _, app := range []experiments.AppKind{experiments.GPS, experiments.Water, experiments.Barnes} {
 		for _, n := range procs {
 			if n < 2 {
 				continue
 			}
-			samRes, err := experiments.Run(experiments.Spec{App: app, N: n, Policy: ft.PolicySAM, Scale: scale})
-			if err != nil {
-				return err
-			}
-			naive, err := experiments.Run(experiments.Spec{App: app, N: n, Policy: ft.PolicyNaive, Scale: scale})
-			if err != nil {
-				return err
-			}
-			fmt.Printf("%-12s %6d %14.4f %14.4f %16.3f %16.3f\n", app, n,
-				samRes.ModeledSec, naive.ModeledSec,
-				samRes.Report.CheckpointsPerProcPerSec(), naive.Report.CheckpointsPerProcPerSec())
+			specs = append(specs,
+				experiments.Spec{App: app, N: n, Policy: ft.PolicySAM, Scale: scale},
+				experiments.Spec{App: app, N: n, Policy: ft.PolicyNaive, Scale: scale})
 		}
+	}
+	results, err := experiments.RunAll(specs)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < len(results); i += 2 {
+		samRes, naive := results[i], results[i+1]
+		fmt.Printf("%-12s %6d %14.4f %14.4f %16.3f %16.3f\n", samRes.Spec.App, samRes.Spec.N,
+			samRes.ModeledSec, naive.ModeledSec,
+			samRes.Report.CheckpointsPerProcPerSec(), naive.Report.CheckpointsPerProcPerSec())
 	}
 	fmt.Println()
 	return nil
@@ -139,12 +157,16 @@ func ablationNaive(scale experiments.Scale, procs []int) error {
 func ablationDegree(scale experiments.Scale) error {
 	fmt.Println("== Ablation A2: replication degree (GPS, 4 procs) ==")
 	fmt.Printf("%8s %14s %16s %14s\n", "degree", "T(FT) s", "replica bytes", "ckpts/proc/s")
+	var specs []experiments.Spec
 	for _, d := range []int{1, 2, 3} {
-		res, err := experiments.Run(experiments.Spec{App: experiments.GPS, N: 4, Policy: ft.PolicySAM, Degree: d, Scale: scale})
-		if err != nil {
-			return err
-		}
-		fmt.Printf("%8d %14.4f %16d %14.3f\n", d, res.ModeledSec,
+		specs = append(specs, experiments.Spec{App: experiments.GPS, N: 4, Policy: ft.PolicySAM, Degree: d, Scale: scale})
+	}
+	results, err := experiments.RunAll(specs)
+	if err != nil {
+		return err
+	}
+	for _, res := range results {
+		fmt.Printf("%8d %14.4f %16d %14.3f\n", res.Spec.Degree, res.ModeledSec,
 			res.Report.Total.ReplicaBytes, res.Report.CheckpointsPerProcPerSec())
 	}
 	fmt.Println()
@@ -156,17 +178,48 @@ func ablationDegree(scale experiments.Scale) error {
 func ablationForce(scale experiments.Scale) error {
 	fmt.Println("== Ablation A4: lazy free (T/C/D vectors) vs eager round-trips (Water, 4 procs) ==")
 	fmt.Printf("%8s %14s %18s %16s\n", "mode", "T(FT) s", "force-msgs/ps", "forced/proc/s")
-	for _, eager := range []bool{false, true} {
-		res, err := experiments.Run(experiments.Spec{App: experiments.Water, N: 4, Policy: ft.PolicySAM, Eager: eager, Scale: scale})
-		if err != nil {
-			return err
-		}
+	specs := []experiments.Spec{
+		{App: experiments.Water, N: 4, Policy: ft.PolicySAM, Scale: scale},
+		{App: experiments.Water, N: 4, Policy: ft.PolicySAM, Eager: true, Scale: scale},
+	}
+	results, err := experiments.RunAll(specs)
+	if err != nil {
+		return err
+	}
+	for _, res := range results {
 		mode := "lazy"
-		if eager {
+		if res.Spec.Eager {
 			mode = "eager"
 		}
 		fmt.Printf("%8s %14.4f %18.4f %16.4f\n", mode, res.ModeledSec,
 			res.Report.ForceCkptMsgsPerProcPerSec(), res.Report.ForcedCkptsPerProcPerSec())
+	}
+	fmt.Println()
+	return nil
+}
+
+// ablationSnapCache compares the version-keyed snapshot cache against the
+// re-pack-every-time baseline (A5): same answer, fewer packed bytes, and
+// lower modeled checkpoint cost.
+func ablationSnapCache(scale experiments.Scale) error {
+	fmt.Println("== Ablation A5: snapshot cache vs re-pack on every checkpoint/send (Water, 4 procs) ==")
+	fmt.Printf("%8s %14s %12s %12s %14s %12s\n", "mode", "T(FT) s", "hits", "hit%", "saved bytes", "answer")
+	specs := []experiments.Spec{
+		{App: experiments.Water, N: 4, Policy: ft.PolicySAM, Scale: scale},
+		{App: experiments.Water, N: 4, Policy: ft.PolicySAM, NoSnapCache: true, Scale: scale},
+	}
+	results, err := experiments.RunAll(specs)
+	if err != nil {
+		return err
+	}
+	for _, res := range results {
+		mode := "cached"
+		if res.Spec.NoSnapCache {
+			mode = "repack"
+		}
+		fmt.Printf("%8s %14.4f %12d %12.2f %14d %12.4f\n", mode, res.ModeledSec,
+			res.Report.Total.SnapCacheHits, res.Report.SnapCacheHitPct(),
+			res.Report.Total.SnapCacheBytesSaved, res.Answer)
 	}
 	fmt.Println()
 	return nil
@@ -180,21 +233,24 @@ func baselineConsistent(scale experiments.Scale, procs []int) error {
 	// Water is excluded: its processes execute uneven step counts (dynamic
 	// task stealing), which the lock-step barrier baseline cannot handle —
 	// itself an illustration of why the paper avoids global coordination.
+	var specs []experiments.Spec
 	for _, app := range []experiments.AppKind{experiments.GPS, experiments.Barnes} {
 		for _, n := range procs {
 			if n < 2 {
 				continue
 			}
-			samRes, err := experiments.Run(experiments.Spec{App: app, N: n, Policy: ft.PolicySAM, Scale: scale})
-			if err != nil {
-				return err
-			}
-			cons, err := experiments.Run(experiments.Spec{App: app, N: n, Policy: ft.PolicyOff, Consistent: true, Scale: scale})
-			if err != nil {
-				return err
-			}
-			fmt.Printf("%-12s %6d %14.4f %18.4f\n", app, n, samRes.ModeledSec, cons.ModeledSec)
+			specs = append(specs,
+				experiments.Spec{App: app, N: n, Policy: ft.PolicySAM, Scale: scale},
+				experiments.Spec{App: app, N: n, Policy: ft.PolicyOff, Consistent: true, Scale: scale})
 		}
+	}
+	results, err := experiments.RunAll(specs)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < len(results); i += 2 {
+		samRes, cons := results[i], results[i+1]
+		fmt.Printf("%-12s %6d %14.4f %18.4f\n", samRes.Spec.App, samRes.Spec.N, samRes.ModeledSec, cons.ModeledSec)
 	}
 	fmt.Println()
 	return nil

@@ -29,6 +29,8 @@ type Config struct {
 	EagerFree bool
 	// CacheCapacity bounds each process's cached-object count (0 = off).
 	CacheCapacity int
+	// NoSnapCache disables the version-keyed snapshot cache (ablation).
+	NoSnapCache bool
 	// Cost overrides the network cost model (default: the paper's AN2).
 	Cost netsim.CostModel
 	// AppFactory builds the per-rank application. It is called again with
@@ -111,6 +113,7 @@ func (c *Cluster) spawn(rank int, recovering bool) *pvm.Task {
 			Degree:        c.cfg.Degree,
 			LazyFree:      !c.cfg.EagerFree,
 			CacheCapacity: c.cfg.CacheCapacity,
+			NoSnapCache:   c.cfg.NoSnapCache,
 			Stats:         st,
 			Recovering:    recovering,
 			Respawn:       c.respawn,

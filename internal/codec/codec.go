@@ -57,15 +57,20 @@ func Register(name string, sample interface{}) {
 		t = t.Elem()
 	}
 	defaultRegistry.mu.Lock()
-	defer defaultRegistry.mu.Unlock()
-	if prev, ok := defaultRegistry.byName[name]; ok {
-		if prev != t {
-			panic(fmt.Sprintf("codec: name %q registered for both %v and %v", name, prev, t))
-		}
-		return
+	prev, known := defaultRegistry.byName[name]
+	if known && prev != t {
+		defaultRegistry.mu.Unlock()
+		panic(fmt.Sprintf("codec: name %q registered for both %v and %v", name, prev, t))
 	}
-	defaultRegistry.byName[name] = t
-	defaultRegistry.nameFor[t] = name
+	if !known {
+		defaultRegistry.byName[name] = t
+		defaultRegistry.nameFor[t] = name
+	}
+	defaultRegistry.mu.Unlock()
+	// Compile the type's marshaling plan once, at registration — the
+	// compile-time analogue of the SAM preprocessor generating per-type
+	// marshaling code. Pack/Unpack then dispatch over the precompiled plan.
+	planFor(t)
 }
 
 // TypeName returns the registered name for v's type (pointers are
@@ -111,6 +116,19 @@ const frameMagic uint16 = 0x5A4D
 // Pack serializes v (a value or pointer to a value of a registered type)
 // into a self-describing frame.
 func Pack(v interface{}) ([]byte, error) {
+	e, err := packFrame(v)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, len(e.buf))
+	copy(out, e.buf)
+	putEncoder(e)
+	return out, nil
+}
+
+// packFrame encodes v into a pooled encoder. On success the caller owns
+// the encoder and must return it with putEncoder.
+func packFrame(v interface{}) (*encoder, error) {
 	rv := reflect.ValueOf(v)
 	var root reflect.Value // innermost pointer to the packed object, if any
 	for rv.Kind() == reflect.Ptr {
@@ -124,7 +142,13 @@ func Pack(v interface{}) ([]byte, error) {
 	if name == "" {
 		return nil, fmt.Errorf("%w: %T", ErrNotRegistered, v)
 	}
-	e := newEncoder()
+	pl := planFor(rv.Type())
+	e := getEncoder()
+	if pl.fixed >= 0 {
+		// Size hint: header + body + checksum, so scalar-only types encode
+		// with zero buffer growth.
+		e.grow(2 + 4 + len(name) + 1 + pl.fixed + 4)
+	}
 	e.u16(frameMagic)
 	e.str(name)
 	if root.IsValid() {
@@ -132,16 +156,17 @@ func Pack(v interface{}) ([]byte, error) {
 		// pointers back to it (e.g. a child's Parent link) resolve to the
 		// same identity after unpack.
 		e.u8(1)
-		e.refs[root.Pointer()] = 0
+		e.addRef(root.Pointer())
 	} else {
 		e.u8(0)
 	}
-	if err := e.value(rv); err != nil {
+	if err := pl.enc(e, rv); err != nil {
+		putEncoder(e)
 		return nil, err
 	}
 	sum := crc32.ChecksumIEEE(e.buf)
 	e.u32(sum)
-	return e.buf, nil
+	return e, nil
 }
 
 // Unpack deserializes a frame produced by Pack. It returns a pointer to a
@@ -156,7 +181,8 @@ func Unpack(data []byte) (interface{}, error) {
 	if crc32.ChecksumIEEE(body) != want {
 		return nil, ErrChecksum
 	}
-	d := newDecoder(body)
+	d := getDecoder(body)
+	defer putDecoder(d)
 	magic, err := d.u16()
 	if err != nil {
 		return nil, err
@@ -176,11 +202,12 @@ func Unpack(data []byte) (interface{}, error) {
 	if err != nil {
 		return nil, err
 	}
+	pl := planFor(t)
 	p := reflect.New(t)
 	if rooted == 1 {
 		d.ptrs = append(d.ptrs, p)
 	}
-	if err := d.value(p.Elem()); err != nil {
+	if err := pl.dec(d, p.Elem()); err != nil {
 		return nil, err
 	}
 	if d.remaining() != 0 {
@@ -202,11 +229,14 @@ func DeepCopy(v interface{}) (interface{}, error) {
 }
 
 // PackedSize returns the frame size for v without retaining the buffer.
-// The sam layer uses it to charge modeled transfer time.
+// The sam layer uses it to charge modeled transfer time. Unlike Pack, the
+// frame is encoded into pooled scratch and never copied out.
 func PackedSize(v interface{}) (int, error) {
-	b, err := Pack(v)
+	e, err := packFrame(v)
 	if err != nil {
 		return 0, err
 	}
-	return len(b), nil
+	n := len(e.buf)
+	putEncoder(e)
+	return n, nil
 }

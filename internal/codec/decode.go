@@ -2,13 +2,14 @@ package codec
 
 import (
 	"fmt"
-	"math"
 	"reflect"
+	"sync"
 )
 
-// decoder mirrors encoder: it walks the static type and consumes the
-// canonical byte stream, rebuilding pointer identity from the reference
-// table.
+// decoder mirrors encoder: it walks the compiled plan for the static type
+// and consumes the canonical byte stream, rebuilding pointer identity from
+// the reference table. Decoders are pooled; only the pointee table's
+// backing array is retained across uses.
 type decoder struct {
 	buf []byte
 	off int
@@ -16,7 +17,28 @@ type decoder struct {
 	ptrs []reflect.Value
 }
 
-func newDecoder(b []byte) *decoder { return &decoder{buf: b} }
+var decoderPool = sync.Pool{New: func() interface{} { return new(decoder) }}
+
+func getDecoder(b []byte) *decoder {
+	d := decoderPool.Get().(*decoder)
+	d.buf = b
+	d.off = 0
+	return d
+}
+
+func putDecoder(d *decoder) {
+	d.buf = nil
+	if len(d.ptrs) > maxPooledRefs {
+		d.ptrs = nil
+	} else {
+		// Clear the elements so the pool does not pin decoded objects.
+		for i := range d.ptrs {
+			d.ptrs[i] = reflect.Value{}
+		}
+		d.ptrs = d.ptrs[:0]
+	}
+	decoderPool.Put(d)
+}
 
 func (d *decoder) remaining() int { return len(d.buf) - d.off }
 
@@ -91,182 +113,4 @@ func (d *decoder) byteSlice() ([]byte, error) {
 	copy(out, d.buf[d.off:d.off+int(n)])
 	d.off += int(n)
 	return out, nil
-}
-
-// value decodes into rv, which must be addressable (settable).
-func (d *decoder) value(rv reflect.Value) error {
-	switch rv.Kind() {
-	case reflect.Bool:
-		b, err := d.u8()
-		if err != nil {
-			return err
-		}
-		rv.SetBool(b != 0)
-	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
-		v, err := d.u64()
-		if err != nil {
-			return err
-		}
-		rv.SetInt(int64(v))
-		if rv.Int() != int64(v) {
-			return fmt.Errorf("%w: integer overflow for %v", ErrCorrupt, rv.Type())
-		}
-	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr:
-		v, err := d.u64()
-		if err != nil {
-			return err
-		}
-		rv.SetUint(v)
-		if rv.Uint() != v {
-			return fmt.Errorf("%w: integer overflow for %v", ErrCorrupt, rv.Type())
-		}
-	case reflect.Float32, reflect.Float64:
-		v, err := d.u64()
-		if err != nil {
-			return err
-		}
-		rv.SetFloat(math.Float64frombits(v))
-	case reflect.Complex64, reflect.Complex128:
-		re, err := d.u64()
-		if err != nil {
-			return err
-		}
-		im, err := d.u64()
-		if err != nil {
-			return err
-		}
-		rv.SetComplex(complex(math.Float64frombits(re), math.Float64frombits(im)))
-	case reflect.String:
-		s, err := d.str()
-		if err != nil {
-			return err
-		}
-		rv.SetString(s)
-	case reflect.Slice:
-		present, err := d.u8()
-		if err != nil {
-			return err
-		}
-		if present == 0 {
-			rv.Set(reflect.Zero(rv.Type()))
-			return nil
-		}
-		if rv.Type().Elem().Kind() == reflect.Uint8 {
-			b, err := d.byteSlice()
-			if err != nil {
-				return err
-			}
-			if rv.Type().Elem() == reflect.TypeOf(byte(0)) {
-				rv.SetBytes(b)
-				return nil
-			}
-			// Named byte-like element types.
-			s := reflect.MakeSlice(rv.Type(), len(b), len(b))
-			for i, bb := range b {
-				s.Index(i).SetUint(uint64(bb))
-			}
-			rv.Set(s)
-			return nil
-		}
-		n, err := d.u32()
-		if err != nil {
-			return err
-		}
-		if int(n) > d.remaining() {
-			// Every element takes at least one byte; reject absurd lengths
-			// before allocating.
-			return fmt.Errorf("%w: slice length %d exceeds frame", ErrCorrupt, n)
-		}
-		s := reflect.MakeSlice(rv.Type(), int(n), int(n))
-		for i := 0; i < int(n); i++ {
-			if err := d.value(s.Index(i)); err != nil {
-				return err
-			}
-		}
-		rv.Set(s)
-	case reflect.Array:
-		for i := 0; i < rv.Len(); i++ {
-			if err := d.value(rv.Index(i)); err != nil {
-				return err
-			}
-		}
-	case reflect.Map:
-		present, err := d.u8()
-		if err != nil {
-			return err
-		}
-		if present == 0 {
-			rv.Set(reflect.Zero(rv.Type()))
-			return nil
-		}
-		n, err := d.u32()
-		if err != nil {
-			return err
-		}
-		if int(n) > d.remaining() {
-			return fmt.Errorf("%w: map length %d exceeds frame", ErrCorrupt, n)
-		}
-		m := reflect.MakeMapWithSize(rv.Type(), int(n))
-		for i := 0; i < int(n); i++ {
-			k := reflect.New(rv.Type().Key()).Elem()
-			if err := d.value(k); err != nil {
-				return err
-			}
-			v := reflect.New(rv.Type().Elem()).Elem()
-			if err := d.value(v); err != nil {
-				return err
-			}
-			m.SetMapIndex(k, v)
-		}
-		rv.Set(m)
-	case reflect.Ptr:
-		return d.pointer(rv)
-	case reflect.Struct:
-		t := rv.Type()
-		for i := 0; i < t.NumField(); i++ {
-			if t.Field(i).PkgPath != "" {
-				continue // unexported fields are not on the wire
-			}
-			if err := d.value(rv.Field(i)); err != nil {
-				return fmt.Errorf("field %s.%s: %w", t.Name(), t.Field(i).Name, err)
-			}
-		}
-	default:
-		return fmt.Errorf("codec: cannot decode kind %v", rv.Kind())
-	}
-	return nil
-}
-
-func (d *decoder) pointer(rv reflect.Value) error {
-	marker, err := d.u8()
-	if err != nil {
-		return err
-	}
-	switch marker {
-	case ptrNil:
-		rv.Set(reflect.Zero(rv.Type()))
-		return nil
-	case ptrNew:
-		p := reflect.New(rv.Type().Elem())
-		// Register before decoding the pointee so cycles resolve.
-		d.ptrs = append(d.ptrs, p)
-		rv.Set(p)
-		return d.value(p.Elem())
-	case ptrBack:
-		idx, err := d.u64()
-		if err != nil {
-			return err
-		}
-		if idx >= uint64(len(d.ptrs)) {
-			return fmt.Errorf("%w: backreference %d of %d", ErrCorrupt, idx, len(d.ptrs))
-		}
-		p := d.ptrs[idx]
-		if p.Type() != rv.Type() {
-			return fmt.Errorf("%w: backreference type %v, want %v", ErrCorrupt, p.Type(), rv.Type())
-		}
-		rv.Set(p)
-		return nil
-	default:
-		return fmt.Errorf("%w: bad pointer marker %d", ErrCorrupt, marker)
-	}
 }

@@ -1,24 +1,64 @@
 package codec
 
-import (
-	"fmt"
-	"math"
-	"reflect"
-	"sort"
-)
+import "sync"
 
 // encoder writes the canonical wire format: fixed-width big-endian
 // scalars, length-prefixed aggregates, and reference-encoded pointers.
 // Pointer identity within one frame is preserved via a table of already
 // encoded pointees, which also makes cyclic structures safe.
+//
+// Encoders are pooled: steady-state packing reuses a grown buffer and an
+// emptied reference table, so Pack's only allocation for scalar-only types
+// is the returned frame itself.
 type encoder struct {
 	buf []byte
-	// refs maps an already-encoded pointer to its reference index.
+	// refs maps an already-encoded pointer to its reference index. It is
+	// allocated lazily so pointer-free types never pay for it.
 	refs map[uintptr]uint64
 }
 
-func newEncoder() *encoder {
-	return &encoder{refs: make(map[uintptr]uint64)}
+var encoderPool = sync.Pool{New: func() interface{} { return new(encoder) }}
+
+// Bounds above which pooled scratch state is discarded rather than
+// retained (a single huge frame must not pin its buffer forever).
+const (
+	maxPooledBuf  = 1 << 20
+	maxPooledRefs = 1 << 10
+)
+
+func getEncoder() *encoder { return encoderPool.Get().(*encoder) }
+
+func putEncoder(e *encoder) {
+	if cap(e.buf) > maxPooledBuf {
+		e.buf = nil
+	} else {
+		e.buf = e.buf[:0]
+	}
+	if len(e.refs) > maxPooledRefs {
+		e.refs = nil
+	} else {
+		for k := range e.refs {
+			delete(e.refs, k)
+		}
+	}
+	encoderPool.Put(e)
+}
+
+// addRef assigns the next reference index to a newly encoded pointee.
+func (e *encoder) addRef(addr uintptr) {
+	if e.refs == nil {
+		e.refs = make(map[uintptr]uint64, 8)
+	}
+	e.refs[addr] = uint64(len(e.refs))
+}
+
+// grow pre-reserves capacity (a size hint from the compiled plan).
+func (e *encoder) grow(n int) {
+	if cap(e.buf)-len(e.buf) < n {
+		nb := make([]byte, len(e.buf), len(e.buf)+n)
+		copy(nb, e.buf)
+		e.buf = nb
+	}
 }
 
 func (e *encoder) u8(v uint8) { e.buf = append(e.buf, v) }
@@ -50,127 +90,3 @@ const (
 	ptrNew  = 1
 	ptrBack = 2
 )
-
-// value encodes rv. The encoding depends only on the (registered) static
-// type, so the decoder can mirror it without per-value type tags.
-func (e *encoder) value(rv reflect.Value) error {
-	switch rv.Kind() {
-	case reflect.Bool:
-		if rv.Bool() {
-			e.u8(1)
-		} else {
-			e.u8(0)
-		}
-	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
-		e.u64(uint64(rv.Int()))
-	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr:
-		e.u64(rv.Uint())
-	case reflect.Float32, reflect.Float64:
-		e.u64(math.Float64bits(rv.Float()))
-	case reflect.Complex64, reflect.Complex128:
-		c := rv.Complex()
-		e.u64(math.Float64bits(real(c)))
-		e.u64(math.Float64bits(imag(c)))
-	case reflect.String:
-		e.str(rv.String())
-	case reflect.Slice:
-		if rv.IsNil() {
-			e.u8(0)
-			return nil
-		}
-		e.u8(1)
-		if rv.Type().Elem().Kind() == reflect.Uint8 {
-			e.bytes(rv.Bytes())
-			return nil
-		}
-		e.u32(uint32(rv.Len()))
-		for i := 0; i < rv.Len(); i++ {
-			if err := e.value(rv.Index(i)); err != nil {
-				return err
-			}
-		}
-	case reflect.Array:
-		for i := 0; i < rv.Len(); i++ {
-			if err := e.value(rv.Index(i)); err != nil {
-				return err
-			}
-		}
-	case reflect.Map:
-		return e.mapValue(rv)
-	case reflect.Ptr:
-		return e.pointer(rv)
-	case reflect.Struct:
-		t := rv.Type()
-		for i := 0; i < t.NumField(); i++ {
-			f := t.Field(i)
-			if f.PkgPath != "" {
-				// Unexported fields are process-local state and are not
-				// transmitted, matching how SAM only communicates the
-				// declared shared representation.
-				continue
-			}
-			if err := e.value(rv.Field(i)); err != nil {
-				return fmt.Errorf("field %s.%s: %w", t.Name(), f.Name, err)
-			}
-		}
-	default:
-		return fmt.Errorf("codec: cannot encode kind %v", rv.Kind())
-	}
-	return nil
-}
-
-func (e *encoder) pointer(rv reflect.Value) error {
-	if rv.IsNil() {
-		e.u8(ptrNil)
-		return nil
-	}
-	addr := rv.Pointer()
-	if idx, ok := e.refs[addr]; ok {
-		e.u8(ptrBack)
-		e.u64(idx)
-		return nil
-	}
-	e.refs[addr] = uint64(len(e.refs))
-	e.u8(ptrNew)
-	return e.value(rv.Elem())
-}
-
-// mapValue encodes a map with keys sorted by their encoded bytes so the
-// wire format is canonical (identical values encode identically regardless
-// of Go's randomized map iteration order).
-func (e *encoder) mapValue(rv reflect.Value) error {
-	if rv.IsNil() {
-		e.u8(0)
-		return nil
-	}
-	e.u8(1)
-	type kv struct {
-		keyEnc []byte
-		key    reflect.Value
-	}
-	keys := rv.MapKeys()
-	encoded := make([]kv, 0, len(keys))
-	for _, k := range keys {
-		ke := newEncoder()
-		if err := ke.value(k); err != nil {
-			return err
-		}
-		if len(ke.refs) > 0 {
-			// Pointer-bearing keys cannot be encoded canonically (their
-			// reference indices would depend on encoding order).
-			return fmt.Errorf("codec: map key type %v contains pointers", k.Type())
-		}
-		encoded = append(encoded, kv{ke.buf, k})
-	}
-	sort.Slice(encoded, func(i, j int) bool {
-		return string(encoded[i].keyEnc) < string(encoded[j].keyEnc)
-	})
-	e.u32(uint32(len(encoded)))
-	for _, p := range encoded {
-		e.buf = append(e.buf, p.keyEnc...)
-		if err := e.value(rv.MapIndex(p.key)); err != nil {
-			return err
-		}
-	}
-	return nil
-}

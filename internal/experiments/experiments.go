@@ -66,7 +66,11 @@ type Spec struct {
 	// (KillStep 0 = no failure).
 	KillRank int
 	KillStep int64
-	Seed     uint64
+	// Seed, when nonzero, overrides the application's default master seed
+	// (per-cell seeds for sweeps that want independent datasets).
+	Seed uint64
+	// NoSnapCache disables the sam-layer snapshot cache (ablation).
+	NoSnapCache bool
 }
 
 // Result is one run's outcome.
@@ -110,6 +114,14 @@ func (a *answerBox) put(v float64) {
 		a.set = true
 	}
 	a.mu.Unlock()
+}
+
+// get reads under the lock: the writer is an application callback on a
+// cluster goroutine, not the goroutine that assembles the Result.
+func (a *answerBox) get() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.v
 }
 
 // gpsParams / waterParams / barnesParams size the workloads.
@@ -162,7 +174,11 @@ func Run(spec Spec) (Result, error) {
 		var app sam.App
 		switch spec.App {
 		case GPS:
-			a := gps.New(rank, spec.N, gpsParams(spec.Scale))
+			gp := gpsParams(spec.Scale)
+			if spec.Seed != 0 {
+				gp.Seed = spec.Seed
+			}
+			a := gps.New(rank, spec.N, gp)
 			if rank == 0 {
 				a.OnResult = func(best float64) {
 					ans.put(best)
@@ -175,7 +191,11 @@ func Run(spec Spec) (Result, error) {
 			}
 			app = a
 		case Water:
-			a := water.New(rank, spec.N, waterParams(spec.Scale))
+			wp := waterParams(spec.Scale)
+			if spec.Seed != 0 {
+				wp.Seed = spec.Seed
+			}
+			a := water.New(rank, spec.N, wp)
 			if rank == 0 {
 				steps := waterParams(spec.Scale).Steps
 				a.OnEnergy = func(step int64, e float64) {
@@ -186,7 +206,11 @@ func Run(spec Spec) (Result, error) {
 			}
 			app = a
 		case Barnes:
-			a := barnes.New(rank, spec.N, barnesParams(spec.Scale))
+			bp := barnesParams(spec.Scale)
+			if spec.Seed != 0 {
+				bp.Seed = spec.Seed
+			}
+			a := barnes.New(rank, spec.N, bp)
 			if rank == 0 {
 				steps := barnesParams(spec.Scale).Steps
 				a.OnStep = func(step int64, mass float64) {
@@ -214,11 +238,12 @@ func Run(spec Spec) (Result, error) {
 	}
 
 	cl = cluster.New(cluster.Config{
-		N:          spec.N,
-		Policy:     spec.Policy,
-		Degree:     spec.Degree,
-		EagerFree:  spec.Eager,
-		AppFactory: factory,
+		N:           spec.N,
+		Policy:      spec.Policy,
+		Degree:      spec.Degree,
+		EagerFree:   spec.Eager,
+		NoSnapCache: spec.NoSnapCache,
+		AppFactory:  factory,
 	})
 	start := time.Now()
 	rep, err := cl.Run(10 * time.Minute)
@@ -231,7 +256,7 @@ func Run(spec Spec) (Result, error) {
 		ModeledSec: rep.Elapsed,
 		WallSec:    wall,
 		Report:     rep,
-		Answer:     ans.v,
+		Answer:     ans.get(),
 	}
 	recMu.Lock()
 	if !killAt.IsZero() && !recoveredAt.IsZero() {
@@ -260,28 +285,33 @@ type Figure struct {
 	WithFT []FigureRow
 }
 
-// RunFigure reproduces Fig 3/4/5 for the given processor counts.
+// RunFigure reproduces Fig 3/4/5 for the given processor counts. The
+// cells — every (policy, procs) pair — run concurrently via RunAll; the
+// rows are assembled from the ordered results afterwards, so the figure
+// is identical to a sequential sweep.
 func RunFigure(app AppKind, scale Scale, procs []int) (Figure, error) {
 	fig := Figure{App: app, Scale: scale}
-	var t1 float64
-	for i, variant := range []ft.Policy{ft.PolicyOff, ft.PolicySAM} {
+	variants := []ft.Policy{ft.PolicyOff, ft.PolicySAM}
+	specs := make([]Spec, 0, len(variants)*len(procs))
+	for _, variant := range variants {
 		for _, n := range procs {
-			res, err := Run(Spec{App: app, N: n, Policy: variant, Scale: scale})
-			if err != nil {
-				return fig, fmt.Errorf("%v n=%d policy=%v: %w", app, n, variant, err)
-			}
-			if i == 0 && n == procs[0] {
-				t1 = res.ModeledSec
-			}
-			row := FigureRow{Procs: n, ModeledSec: res.ModeledSec, Report: res.Report}
-			if res.ModeledSec > 0 {
-				row.Speedup = t1 * float64(procs[0]) / res.ModeledSec
-			}
-			if i == 0 {
-				fig.NoFT = append(fig.NoFT, row)
-			} else {
-				fig.WithFT = append(fig.WithFT, row)
-			}
+			specs = append(specs, Spec{App: app, N: n, Policy: variant, Scale: scale})
+		}
+	}
+	results, err := RunAll(specs)
+	if err != nil {
+		return fig, err
+	}
+	t1 := results[0].ModeledSec // first variant at the first proc count
+	for k, res := range results {
+		row := FigureRow{Procs: res.Spec.N, ModeledSec: res.ModeledSec, Report: res.Report}
+		if res.ModeledSec > 0 {
+			row.Speedup = t1 * float64(procs[0]) / res.ModeledSec
+		}
+		if k < len(procs) {
+			fig.NoFT = append(fig.NoFT, row)
+		} else {
+			fig.WithFT = append(fig.WithFT, row)
 		}
 	}
 	return fig, nil

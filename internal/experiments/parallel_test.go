@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestRunAllPreservesSpecOrder runs a mixed batch under a wide pool and
+// checks every result lands at its spec's index (the property RunFigure
+// and the ftbench tables rely on for stable output).
+func TestRunAllPreservesSpecOrder(t *testing.T) {
+	specs := []Spec{
+		{App: GPS, N: 2, Scale: Small},
+		{App: Barnes, N: 1, Scale: Small},
+		{App: GPS, N: 1, Scale: Small},
+		{App: Barnes, N: 2, Scale: Small},
+	}
+	prev := SetParallelism(4)
+	defer SetParallelism(prev)
+	results, err := RunAll(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(specs) {
+		t.Fatalf("got %d results for %d specs", len(results), len(specs))
+	}
+	for i, res := range results {
+		if res.Spec.App != specs[i].App || res.Spec.N != specs[i].N {
+			t.Fatalf("result %d is for spec %+v, want %+v", i, res.Spec, specs[i])
+		}
+		if res.ModeledSec <= 0 {
+			t.Fatalf("result %d has no modeled time", i)
+		}
+	}
+}
+
+// TestRunFigureParallelStructure checks that a parallel figure sweep
+// produces the same grid shape and row ordering as a sequential one.
+// Modeled times carry pre-existing run-to-run scheduling jitter, so only
+// the structure is compared.
+func TestRunFigureParallelStructure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure sweep skipped in -short mode")
+	}
+	procs := []int{1, 2}
+	prev := SetParallelism(1)
+	seq, err := RunFigure(GPS, Small, procs)
+	SetParallelism(4)
+	var par Figure
+	if err == nil {
+		par, err = RunFigure(GPS, Small, procs)
+	}
+	SetParallelism(prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fig := range []Figure{seq, par} {
+		if len(fig.NoFT) != len(procs) || len(fig.WithFT) != len(procs) {
+			t.Fatalf("figure has %d/%d rows, want %d each", len(fig.NoFT), len(fig.WithFT), len(procs))
+		}
+		for i, n := range procs {
+			if fig.NoFT[i].Procs != n || fig.WithFT[i].Procs != n {
+				t.Fatalf("row %d is for %d/%d procs, want %d", i, fig.NoFT[i].Procs, fig.WithFT[i].Procs, n)
+			}
+		}
+	}
+}

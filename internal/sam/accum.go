@@ -249,11 +249,7 @@ func (p *Proc) tryMigrate(o *object) {
 
 // completeMigration performs the actual ownership transfer.
 func (p *Proc) completeMigration(o *object, target int, inactive bool, seq int64) {
-	body, err := codec.Pack(o.data)
-	if err != nil {
-		panic(fmt.Errorf("sam: pack accumulator %v: %w", o.name, err))
-	}
-	p.task.Charge(float64(len(body)) / packBytesPerUS)
+	body := p.packObject(o)
 	p.st.ObjectSends.Add(1)
 	if inactive {
 		p.st.CkptCausingSends.Add(1)
@@ -265,6 +261,8 @@ func (p *Proc) completeMigration(o *object, target int, inactive bool, seq int64
 	o.accLocked = false
 	o.dirty = false
 	o.ownerRank = target
+	// Ownership left: the new owner packs from here on.
+	o.invalidatePackCache()
 	// Both ends inform the home; either message suffices and they agree.
 	p.send(p.home(o.name), &wire{Kind: kAccOwner, Name: uint64(o.name), Target: target})
 }
@@ -298,11 +296,7 @@ func (p *Proc) serveAccumSnapshot(o *object, requester int) {
 		p.addTrigger(trigger{kind: kAccSnap, name: o.name, target: requester})
 		return
 	}
-	body, err := codec.Pack(o.data)
-	if err != nil {
-		panic(fmt.Errorf("sam: pack snapshot %v: %w", o.name, err))
-	}
-	p.task.Charge(float64(len(body)) / packBytesPerUS)
+	body := p.packObject(o)
 	p.st.ObjectSends.Add(1)
 	p.send(requester, &wire{Kind: kAccSnap, Name: uint64(o.name), Body: body})
 }
@@ -342,6 +336,7 @@ func (p *Proc) onAccData(w *wire) {
 	o.nonrepro = true
 	o.dirty = true
 	o.dirtySeq++
+	o.invalidatePackCache()
 	if w.HasMeta && w.Meta.Version > o.version {
 		o.version = w.Meta.Version
 	}
@@ -419,6 +414,7 @@ func (p *Proc) onAccSnap(w *wire) {
 	o.kind = ft.KindAccum
 	o.data = data
 	o.ownerRank = w.SrcRank
+	o.invalidatePackCache()
 	p.touch(o)
 	if w.Inactive {
 		o.state = stInactive

@@ -65,6 +65,31 @@ type forceReq struct {
 // [when the copy] will be replaced in the cache".
 const maxFreeBacklog = 256
 
+// packObject returns the packed frame for a locally held object's current
+// contents, consulting the version-keyed snapshot cache: if the object has
+// not been mutated since the last pack (same dirtySeq), the previously
+// produced bytes are reused and no modeled pack time is charged. This is
+// the checkpoint hot path's first-order saving — an unchanged object costs
+// nothing to re-replicate or re-serve.
+func (p *Proc) packObject(o *object) []byte {
+	if !p.cfg.NoSnapCache && o.packCache != nil && o.packCacheSeq == o.dirtySeq {
+		p.st.SnapCacheHits.Add(1)
+		p.st.SnapCacheBytesSaved.Add(int64(len(o.packCache)))
+		return o.packCache
+	}
+	b, err := codec.Pack(o.data)
+	if err != nil {
+		panic(fmt.Errorf("sam: pack %v: %w", o.name, err))
+	}
+	p.task.Charge(float64(len(b)) / packBytesPerUS)
+	p.st.SnapCacheMisses.Add(1)
+	if !p.cfg.NoSnapCache {
+		o.packCache = b
+		o.packCacheSeq = o.dirtySeq
+	}
+	return b
+}
+
 // addTrigger queues a nonreproducible send to ride the next checkpoint
 // transaction.
 func (p *Proc) addTrigger(t trigger) {
@@ -155,11 +180,7 @@ func (p *Proc) startTx() {
 			continue
 		}
 		holders := ft.CheckpointRanks(uint64(o.name), owner, p.cfg.N, p.cfg.Degree)
-		ob, err := codec.Pack(o.data)
-		if err != nil {
-			panic(fmt.Errorf("sam: pack %v for checkpoint: %w", o.name, err))
-		}
-		p.task.Charge(float64(len(ob)) / packBytesPerUS)
+		ob := p.packObject(o)
 		if o.kind == ft.KindAccum {
 			o.ckptBytes = ob // frozen image for copy re-supply
 		}
@@ -206,11 +227,7 @@ func (p *Proc) startTx() {
 				p.st.CkptCausingSends.Add(1)
 				continue
 			}
-			ob, err := codec.Pack(o.data)
-			if err != nil {
-				panic(fmt.Errorf("sam: pack %v for send: %w", o.name, err))
-			}
-			p.task.Charge(float64(len(ob)) / packBytesPerUS)
+			ob := p.packObject(o)
 			p.st.ObjectSends.Add(1)
 			p.st.CkptCausingSends.Add(1)
 			w := &wire{Kind: t.kind, Name: uint64(t.name), Body: ob, Inactive: true, Seq: seq, Target: t.target}
@@ -222,11 +239,7 @@ func (p *Proc) startTx() {
 			}
 			ob := o.ckptBytes // packed above (accums are always dirty pre-migration)
 			if ob == nil {
-				var err error
-				ob, err = codec.Pack(o.data)
-				if err != nil {
-					panic(fmt.Errorf("sam: pack %v for migration: %w", o.name, err))
-				}
+				ob = p.packObject(o)
 			}
 			p.st.ObjectSends.Add(1)
 			p.st.CkptCausingSends.Add(1)
@@ -239,10 +252,7 @@ func (p *Proc) startTx() {
 			if o == nil || !o.isMain {
 				continue
 			}
-			ob, err := codec.Pack(o.data)
-			if err != nil {
-				panic(fmt.Errorf("sam: pack snapshot %v: %w", o.name, err))
-			}
+			ob := p.packObject(o)
 			p.st.ObjectSends.Add(1)
 			p.st.CkptCausingSends.Add(1)
 			w := &wire{Kind: kAccSnap, Name: uint64(t.name), Body: ob, Inactive: true, Seq: seq}
@@ -322,6 +332,7 @@ func (p *Proc) commitTx() {
 			o.pendingMove = -1
 			o.migrationQueued = false
 			o.ownerRank = m.target
+			o.invalidatePackCache() // ownership left: the new owner packs from here on
 			p.send(p.home(m.name), &wire{Kind: kAccOwner, Name: uint64(m.name), Target: m.target})
 		}
 	}
@@ -522,6 +533,7 @@ func (p *Proc) applyCkptCopy(o *object, w *wire) {
 	o.copySeq = w.Seq
 	o.copyData = data
 	o.copyBytes = w.Body
+	o.invalidatePackCache() // contents now come from the owner's frame
 	if w.HasMeta {
 		o.savedMeta = w.Meta
 		o.kind = ft.ObjKind(w.Meta.Kind)

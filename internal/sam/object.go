@@ -124,12 +124,30 @@ type object struct {
 	// stale holders can be told to drop theirs after ownership moves.
 	lastCkptHolders []int
 
+	// packCache is the version-keyed snapshot cache: the packed frame of
+	// data as of mutation sequence packCacheSeq. While the object is
+	// unmutated (dirtySeq unchanged), checkpoint copies, fetch replies, and
+	// snapshots reuse these bytes instead of re-walking the object — the
+	// dominant cost of the checkpoint hot path. The cache is invalidated
+	// explicitly wherever data is replaced wholesale (migration arrival,
+	// recovery restore) and implicitly by any dirtySeq bump.
+	packCache    []byte
+	packCacheSeq int64
+
 	// lru is a monotonically increasing touch counter for eviction.
 	lru int64
 }
 
 // usable reports whether the local contents can satisfy an access.
 func (o *object) usable() bool { return o.state == stPresent && o.data != nil }
+
+// invalidatePackCache drops the cached packed frame. Callers invoke it
+// when the object's contents are replaced (rather than mutated under
+// dirtySeq) or when ownership leaves this process.
+func (o *object) invalidatePackCache() {
+	o.packCache = nil
+	o.packCacheSeq = 0
+}
 
 // meta builds the checkpoint metadata record for an owned object.
 func (o *object) meta() ft.ObjectMeta {

@@ -249,6 +249,7 @@ func (p *Proc) dropProvisionalFrom(rank int) {
 			o.data = nil
 			o.isMain = false
 			o.created = false
+			o.invalidatePackCache()
 			if len(o.waiters) > 0 && o.fetchOutstanding && o.reqKind != 0 {
 				h := p.home(o.name)
 				if h == p.cfg.Rank {
@@ -494,6 +495,8 @@ func (p *Proc) installRecoveredMain(w *wire, meta *ft.ObjectMeta) {
 	o.created = true
 	o.dirty = false
 	o.fetchOutstanding = false
+	// Contents were replaced from the checkpoint image.
+	o.invalidatePackCache()
 	if meta != nil {
 		o.applyMeta(*meta)
 	} else if w.HasMeta {

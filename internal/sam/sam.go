@@ -75,6 +75,11 @@ type Config struct {
 	// CacheCapacity bounds the number of cached (non-main, non-checkpoint)
 	// objects before LRU eviction; 0 means unbounded.
 	CacheCapacity int
+	// NoSnapCache disables the version-keyed snapshot cache: every send or
+	// checkpoint of an owned object then re-packs its contents, as the
+	// original reproduction did. The cache is on by default; this knob
+	// exists for ablations and for cross-checking byte-exactness in tests.
+	NoSnapCache bool
 	// Stats receives this process's counters; the harness passes one
 	// *stats.Proc per rank so counters survive restarts.
 	Stats *stats.Proc

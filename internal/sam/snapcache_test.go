@@ -1,0 +1,105 @@
+package sam_test
+
+// Integration tests for the snapshot cache through the cluster harness:
+// the cache must be invisible to applications (same answers with it on
+// and off), survive accumulator migration (each migration ships fresh
+// contents, not a stale frame), and keep kill-and-recover working while
+// serving packs from cached frames.
+
+import (
+	"testing"
+
+	"samft/internal/cluster"
+	"samft/internal/ft"
+	"samft/internal/sam"
+	"time"
+)
+
+func snapCacheTotals(c *cluster.Cluster, n int) (hits, misses int64) {
+	for r := 0; r < n; r++ {
+		hits += c.ProcStats(r).SnapCacheHits.Load()
+		misses += c.ProcStats(r).SnapCacheMisses.Load()
+	}
+	return hits, misses
+}
+
+func runCounterCfg(t *testing.T, n int, incs int64, noCache bool, hook func(int, int64)) (*sink, *cluster.Cluster) {
+	t.Helper()
+	out := &sink{}
+	c := cluster.New(cluster.Config{
+		N:           n,
+		Policy:      ft.PolicySAM,
+		NoSnapCache: noCache,
+		AppFactory: func(rank int) sam.App {
+			return &counterApp{rank: rank, n: n, incs: incs, out: out, hook: hook}
+		},
+	})
+	c.Start()
+	if err := c.Wait(60 * time.Second); err != nil {
+		t.Fatalf("cluster: %v", err)
+	}
+	return out, c
+}
+
+// TestSnapCacheSameAnswerOnOff runs a migration-heavy accumulator
+// workload (the shared counter migrates on every contended update, so a
+// stale frame would ship a wrong count) with the cache enabled and
+// disabled: answers must match and only the enabled run may hit.
+func TestSnapCacheSameAnswerOnOff(t *testing.T) {
+	const n, incs = 4, 25
+	cachedOut, cachedCl := runCounterCfg(t, n, incs, false, nil)
+	plainOut, plainCl := runCounterCfg(t, n, incs, true, nil)
+
+	want := int64(n * incs)
+	if got := cachedOut.first(t); got != want {
+		t.Fatalf("cache on: total = %d, want %d", got, want)
+	}
+	if got := plainOut.first(t); got != want {
+		t.Fatalf("cache off: total = %d, want %d", got, want)
+	}
+	hits, _ := snapCacheTotals(cachedCl, n)
+	if hits == 0 {
+		t.Fatal("cache-enabled run recorded no snapshot-cache hits")
+	}
+	offHits, offMisses := snapCacheTotals(plainCl, n)
+	if offHits != 0 {
+		t.Fatalf("NoSnapCache run recorded %d hits", offHits)
+	}
+	if offMisses == 0 {
+		t.Fatal("NoSnapCache run recorded no packs at all")
+	}
+}
+
+// TestSnapCacheRecoveryAfterKill kills a worker mid-run with the cache
+// enabled (the default): recovery must restore the same total it does
+// without the cache, while packs still hit.
+func TestSnapCacheRecoveryAfterKill(t *testing.T) {
+	var cl *cluster.Cluster
+	out := &sink{}
+	hook := killAt(&cl, 2, 30)
+	cl = cluster.New(cluster.Config{
+		N:      4,
+		Policy: ft.PolicySAM,
+		AppFactory: func(rank int) sam.App {
+			return &counterApp{rank: rank, n: 4, incs: 60, out: out, hook: hook}
+		},
+	})
+	cl.Start()
+	if err := cl.Wait(60 * time.Second); err != nil {
+		t.Fatalf("cluster: %v", err)
+	}
+	if got := out.first(t); got != 240 {
+		t.Fatalf("total after recovery with cache = %d, want 240", got)
+	}
+	var recoveries int64
+	for r := 0; r < 4; r++ {
+		recoveries += cl.ProcStats(r).Recoveries.Load()
+	}
+	if recoveries == 0 {
+		t.Fatal("kill did not trigger a recovery")
+	}
+	hits, _ := snapCacheTotals(cl, 4)
+	if hits == 0 {
+		t.Fatal("recovery run recorded no snapshot-cache hits")
+	}
+}

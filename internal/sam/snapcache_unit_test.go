@@ -1,0 +1,122 @@
+package sam
+
+// In-package unit tests for the version-keyed snapshot cache: packObject
+// must return byte-identical frames with the cache on and off, hit only
+// while dirtySeq is unchanged, and forget everything on invalidation.
+
+import (
+	"bytes"
+	"testing"
+
+	"samft/internal/codec"
+	"samft/internal/netsim"
+	"samft/internal/pvm"
+	"samft/internal/stats"
+)
+
+type cacheProbe struct {
+	A int64
+	B []float64
+}
+
+func init() { codec.Register("sam.cacheProbe", cacheProbe{}) }
+
+// withTestProc runs fn on a Proc bound to a real PVM task (packObject
+// charges modeled time, which needs a live endpoint).
+func withTestProc(t *testing.T, cfg Config, fn func(p *Proc)) {
+	t.Helper()
+	m := pvm.NewMachine(netsim.Config{})
+	defer m.Halt()
+	cfg.fill()
+	task := m.Spawn("snapcache-test", func(task *pvm.Task) {
+		fn(&Proc{cfg: cfg, task: task, st: cfg.Stats})
+	})
+	<-task.Done()
+	if err := task.Err(); err != nil {
+		t.Fatalf("test task: %v", err)
+	}
+}
+
+func TestPackObjectIdenticalBytesCacheOnOff(t *testing.T) {
+	mk := func() *object {
+		return &object{name: MkName(9, 1, 0), data: &cacheProbe{A: 42, B: []float64{1, 2, 3}}, dirtySeq: 5}
+	}
+	var cached, cachedAgain, repacked []byte
+	cachedStats := &stats.Proc{}
+	withTestProc(t, Config{Stats: cachedStats}, func(p *Proc) {
+		o := mk()
+		cached = p.packObject(o)
+		cachedAgain = p.packObject(o)
+	})
+	if cachedStats.SnapCacheHits.Load() != 1 || cachedStats.SnapCacheMisses.Load() != 1 {
+		t.Fatalf("cached run: hits=%d misses=%d, want 1/1",
+			cachedStats.SnapCacheHits.Load(), cachedStats.SnapCacheMisses.Load())
+	}
+	if !bytes.Equal(cached, cachedAgain) {
+		t.Fatal("repeat pack with cache differs from first pack")
+	}
+
+	noCacheStats := &stats.Proc{}
+	withTestProc(t, Config{NoSnapCache: true, Stats: noCacheStats}, func(p *Proc) {
+		o := mk()
+		repacked = p.packObject(o)
+		if o.packCache != nil {
+			t.Error("NoSnapCache run stored a cached frame")
+		}
+	})
+	if noCacheStats.SnapCacheHits.Load() != 0 {
+		t.Fatalf("NoSnapCache run recorded %d hits", noCacheStats.SnapCacheHits.Load())
+	}
+	if !bytes.Equal(cached, repacked) {
+		t.Fatal("cache on and off produced different bytes for the same contents")
+	}
+}
+
+func TestPackObjectCacheKeyedOnDirtySeq(t *testing.T) {
+	st := &stats.Proc{}
+	withTestProc(t, Config{Stats: st}, func(p *Proc) {
+		data := &cacheProbe{A: 1}
+		o := &object{name: MkName(9, 2, 0), data: data, dirtySeq: 1}
+		before := p.packObject(o)
+		// The accumulator-update path mutates in place and bumps dirtySeq;
+		// the stale frame must not be served.
+		data.A = 2
+		o.dirtySeq++
+		after := p.packObject(o)
+		if bytes.Equal(before, after) {
+			t.Fatal("pack after mutation returned the stale cached frame")
+		}
+		if st.SnapCacheHits.Load() != 0 {
+			t.Fatalf("mutation was served from cache (%d hits)", st.SnapCacheHits.Load())
+		}
+		roundTrip, err := codec.Unpack(after)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := roundTrip.(*cacheProbe).A; got != 2 {
+			t.Fatalf("unpacked A = %d, want 2", got)
+		}
+	})
+}
+
+func TestPackObjectExplicitInvalidation(t *testing.T) {
+	st := &stats.Proc{}
+	withTestProc(t, Config{Stats: st}, func(p *Proc) {
+		o := &object{name: MkName(9, 3, 0), data: &cacheProbe{A: 7}, dirtySeq: 4}
+		first := p.packObject(o)
+		// Migration / recovery replace contents wholesale without a
+		// dirtySeq bump and must drop the frame explicitly.
+		o.data = &cacheProbe{A: 8}
+		o.invalidatePackCache()
+		if o.packCache != nil || o.packCacheSeq != 0 {
+			t.Fatal("invalidatePackCache left state behind")
+		}
+		second := p.packObject(o)
+		if bytes.Equal(first, second) {
+			t.Fatal("invalidated cache still served the old frame")
+		}
+		if st.SnapCacheHits.Load() != 0 || st.SnapCacheMisses.Load() != 2 {
+			t.Fatalf("hits=%d misses=%d, want 0/2", st.SnapCacheHits.Load(), st.SnapCacheMisses.Load())
+		}
+	})
+}

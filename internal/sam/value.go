@@ -231,13 +231,11 @@ func (p *Proc) serveValueFetch(name Name, requester int) {
 	p.sendValueData(o, requester, kValData, false, 0)
 }
 
-// sendValueData transmits a value's contents to a rank.
+// sendValueData transmits a value's contents to a rank. Values are
+// immutable once created, so after the first pack every further fetch
+// reply reuses the snapshot-cached frame.
 func (p *Proc) sendValueData(o *object, rank int, kind int, inactive bool, seq int64) {
-	body, err := codec.Pack(o.data)
-	if err != nil {
-		panic(fmt.Errorf("sam: pack value %v: %w", o.name, err))
-	}
-	p.task.Charge(float64(len(body)) / packBytesPerUS)
+	body := p.packObject(o)
 	p.st.ObjectSends.Add(1)
 	if inactive {
 		p.st.CkptCausingSends.Add(1)
@@ -405,6 +403,7 @@ func (p *Proc) installValueCopy(w *wire) {
 	o.kind = ft.KindValue
 	o.data = data
 	o.ownerRank = w.SrcRank
+	o.invalidatePackCache()
 	p.touch(o)
 	if w.Inactive {
 		// Usable (and the fetch satisfied) only once the sender's

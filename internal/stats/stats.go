@@ -37,6 +37,13 @@ type Proc struct {
 	// ReplicaObjects / ReplicaBytes count checkpoint copies sent out.
 	ReplicaObjects atomic.Int64
 	ReplicaBytes   atomic.Int64
+	// SnapCacheHits / SnapCacheMisses count packs of owned objects served
+	// from (or stored into) the version-keyed snapshot cache: a hit reuses
+	// the bytes packed at the same mutation sequence instead of re-walking
+	// the object. SnapCacheBytesSaved totals the packed bytes not re-produced.
+	SnapCacheHits       atomic.Int64
+	SnapCacheMisses     atomic.Int64
+	SnapCacheBytesSaved atomic.Int64
 	// PrivBytes counts private-state bytes replicated.
 	PrivBytes atomic.Int64
 	// Recoveries counts recoveries this process coordinated.
@@ -47,35 +54,41 @@ type Proc struct {
 
 // Snapshot is a plain-value copy of a Proc's counters.
 type Snapshot struct {
-	Checkpoints       int64
-	ForcedCheckpoints int64
-	ForceCkptMsgsSent int64
-	ObjectSends       int64
-	CkptCausingSends  int64
-	SharedAccesses    int64
-	Misses            int64
-	ReplicaObjects    int64
-	ReplicaBytes      int64
-	PrivBytes         int64
-	Recoveries        int64
-	StepsExecuted     int64
+	Checkpoints         int64
+	ForcedCheckpoints   int64
+	ForceCkptMsgsSent   int64
+	ObjectSends         int64
+	CkptCausingSends    int64
+	SharedAccesses      int64
+	Misses              int64
+	ReplicaObjects      int64
+	ReplicaBytes        int64
+	SnapCacheHits       int64
+	SnapCacheMisses     int64
+	SnapCacheBytesSaved int64
+	PrivBytes           int64
+	Recoveries          int64
+	StepsExecuted       int64
 }
 
 // Snapshot returns a consistent-enough copy for reporting.
 func (p *Proc) Snapshot() Snapshot {
 	return Snapshot{
-		Checkpoints:       p.Checkpoints.Load(),
-		ForcedCheckpoints: p.ForcedCheckpoints.Load(),
-		ForceCkptMsgsSent: p.ForceCkptMsgsSent.Load(),
-		ObjectSends:       p.ObjectSends.Load(),
-		CkptCausingSends:  p.CkptCausingSends.Load(),
-		SharedAccesses:    p.SharedAccesses.Load(),
-		Misses:            p.Misses.Load(),
-		ReplicaObjects:    p.ReplicaObjects.Load(),
-		ReplicaBytes:      p.ReplicaBytes.Load(),
-		PrivBytes:         p.PrivBytes.Load(),
-		Recoveries:        p.Recoveries.Load(),
-		StepsExecuted:     p.StepsExecuted.Load(),
+		Checkpoints:         p.Checkpoints.Load(),
+		ForcedCheckpoints:   p.ForcedCheckpoints.Load(),
+		ForceCkptMsgsSent:   p.ForceCkptMsgsSent.Load(),
+		ObjectSends:         p.ObjectSends.Load(),
+		CkptCausingSends:    p.CkptCausingSends.Load(),
+		SharedAccesses:      p.SharedAccesses.Load(),
+		Misses:              p.Misses.Load(),
+		ReplicaObjects:      p.ReplicaObjects.Load(),
+		ReplicaBytes:        p.ReplicaBytes.Load(),
+		SnapCacheHits:       p.SnapCacheHits.Load(),
+		SnapCacheMisses:     p.SnapCacheMisses.Load(),
+		SnapCacheBytesSaved: p.SnapCacheBytesSaved.Load(),
+		PrivBytes:           p.PrivBytes.Load(),
+		Recoveries:          p.Recoveries.Load(),
+		StepsExecuted:       p.StepsExecuted.Load(),
 	}
 }
 
@@ -90,6 +103,9 @@ func (s *Snapshot) Add(o Snapshot) {
 	s.Misses += o.Misses
 	s.ReplicaObjects += o.ReplicaObjects
 	s.ReplicaBytes += o.ReplicaBytes
+	s.SnapCacheHits += o.SnapCacheHits
+	s.SnapCacheMisses += o.SnapCacheMisses
+	s.SnapCacheBytesSaved += o.SnapCacheBytesSaved
 	s.PrivBytes += o.PrivBytes
 	s.Recoveries += o.Recoveries
 	s.StepsExecuted += o.StepsExecuted
@@ -138,6 +154,16 @@ func (r Report) ForcedCkptsPerProcPerSec() float64 {
 	return float64(r.Total.ForcedCheckpoints) / float64(r.Procs) / r.Elapsed
 }
 
+// SnapCacheHitPct is the fraction of owned-object packs served from the
+// version-keyed snapshot cache.
+func (r Report) SnapCacheHitPct() float64 {
+	total := r.Total.SnapCacheHits + r.Total.SnapCacheMisses
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(r.Total.SnapCacheHits) / float64(total)
+}
+
 // MissRatePct is the "average miss rate on shared data" row.
 func (r Report) MissRatePct() float64 {
 	if r.Total.SharedAccesses == 0 {
@@ -150,7 +176,8 @@ func (r Report) MissRatePct() float64 {
 // tables.
 func (r Report) String() string {
 	return fmt.Sprintf(
-		"procs=%d elapsed=%.3fs ckpts/proc/s=%.3f sends-ckpt%%=%.2f force-msgs/proc/s=%.4f forced-ckpts/proc/s=%.4f miss%%=%.2f",
+		"procs=%d elapsed=%.3fs ckpts/proc/s=%.3f sends-ckpt%%=%.2f force-msgs/proc/s=%.4f forced-ckpts/proc/s=%.4f miss%%=%.2f snap-cache-hit%%=%.2f snap-cache-saved-B=%d",
 		r.Procs, r.Elapsed, r.CheckpointsPerProcPerSec(), r.PctSendsCausingCheckpoint(),
-		r.ForceCkptMsgsPerProcPerSec(), r.ForcedCkptsPerProcPerSec(), r.MissRatePct())
+		r.ForceCkptMsgsPerProcPerSec(), r.ForcedCkptsPerProcPerSec(), r.MissRatePct(),
+		r.SnapCacheHitPct(), r.Total.SnapCacheBytesSaved)
 }
