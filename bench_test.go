@@ -44,7 +44,7 @@ func BenchmarkRecovery(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Run(experiments.Spec{
 			App: experiments.Water, N: 4, Policy: ft.PolicySAM,
-			KillRank: 2, KillStep: 2,
+			Kills: []experiments.KillEvent{{Rank: 2, Step: 2}},
 		})
 		if err != nil {
 			b.Fatal(err)

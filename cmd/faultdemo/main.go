@@ -26,7 +26,7 @@ func main() {
 
 	res, err := experiments.Run(experiments.Spec{
 		App: experiments.Water, N: *n, Policy: ft.PolicySAM,
-		KillRank: *victim, KillStep: 2,
+		Kills: []experiments.KillEvent{{Rank: *victim, Step: 2}},
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "faultdemo:", err)

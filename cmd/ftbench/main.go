@@ -14,6 +14,8 @@
 //	ftbench -exp gps -scale paper -procs 1,2,4,8
 //	ftbench -exp recovery
 //	ftbench -exp water -par 1   # sequential baseline for timing
+//	ftbench -chaos              # seeded multi-failure chaos sweep
+//	ftbench -chaos -seed 42 -schedules 50
 package main
 
 import (
@@ -29,11 +31,17 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: gps|water|barnes|recovery|ablation-naive|ablation-degree|ablation-force|ablation-snapcache|baseline-consistent|all")
+	exp := flag.String("exp", "all", "experiment: gps|water|barnes|recovery|chaos|ablation-naive|ablation-degree|ablation-force|ablation-snapcache|baseline-consistent|all")
 	scaleFlag := flag.String("scale", "small", "workload scale: small|paper")
 	procsFlag := flag.String("procs", "1,2,4,8", "comma-separated processor counts")
 	par := flag.Int("par", 0, "max concurrent cluster simulations (0 = GOMAXPROCS)")
+	chaosFlag := flag.Bool("chaos", false, "shorthand for -exp chaos")
+	seed := flag.Uint64("seed", 1, "chaos master seed (reproduces a sweep exactly)")
+	schedules := flag.Int("schedules", 20, "chaos kill schedules per application")
 	flag.Parse()
+	if *chaosFlag {
+		*exp = "chaos"
+	}
 
 	scale := experiments.Small
 	if *scaleFlag == "paper" {
@@ -60,6 +68,13 @@ func main() {
 	run("water", func() error { return figure(experiments.Water, scale, procs) })
 	run("barnes", func() error { return figure(experiments.Barnes, scale, procs) })
 	run("recovery", func() error { return recovery(scale) })
+	// Chaos is not part of -exp all: it runs 3 x -schedules full cluster
+	// simulations and is a correctness sweep, not a figure regeneration.
+	if *exp == "chaos" {
+		if err := chaos(scale, *seed, *schedules); err != nil {
+			fatal(fmt.Errorf("chaos: %w", err))
+		}
+	}
 	run("ablation-naive", func() error { return ablationNaive(scale, procs) })
 	run("ablation-degree", func() error { return ablationDegree(scale) })
 	run("ablation-force", func() error { return ablationForce(scale) })
@@ -112,7 +127,7 @@ func recovery(scale experiments.Scale) error {
 		}
 		res, err := experiments.Run(experiments.Spec{
 			App: app, N: 4, Policy: ft.PolicySAM, Scale: scale,
-			KillRank: 2, KillStep: 2,
+			Kills: []experiments.KillEvent{{Rank: 2, Step: 2}},
 		})
 		if err != nil {
 			return err
@@ -120,6 +135,31 @@ func recovery(scale experiments.Scale) error {
 		fmt.Printf("%-12s %8d %10s %14.3f %12v\n", app, 4, "rank 2", res.RecoverySec, res.Answer == base.Answer)
 	}
 	fmt.Println()
+	return nil
+}
+
+// chaos runs the fault-injection sweep: for each application, N seeded
+// randomized multi-failure schedules (simultaneous kills, coordinator
+// takeover, re-kills during recovery) with message jitter and exit-
+// notification drop/duplication, each verified bit-for-bit against the
+// fault-free answer and checked for post-run state invariants.
+func chaos(scale experiments.Scale, seed uint64, schedules int) error {
+	failed := 0
+	for _, app := range []experiments.AppKind{experiments.GPS, experiments.Water, experiments.Barnes} {
+		res, err := experiments.RunChaos(experiments.ChaosSpec{
+			App: app, Scale: scale, Seed: seed, Schedules: schedules,
+			Jitter: true, NotifyChaos: true,
+		})
+		if err != nil {
+			return err
+		}
+		res.Print(os.Stdout)
+		fmt.Println()
+		failed += res.Failed
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d chaos schedules failed", failed)
+	}
 	return nil
 }
 

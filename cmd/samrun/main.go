@@ -53,8 +53,7 @@ func main() {
 		spec.Scale = experiments.Paper
 	}
 	if *kill >= 0 {
-		spec.KillRank = *kill
-		spec.KillStep = 2
+		spec.Kills = []experiments.KillEvent{{Rank: *kill, Step: 2}}
 	}
 
 	res, err := experiments.Run(spec)

@@ -38,6 +38,14 @@ type Config struct {
 	AppFactory func(rank int) sam.App
 	// Trace receives protocol event lines from every process (tests).
 	Trace func(format string, args ...interface{})
+	// OnRespawn, when non-nil, is invoked (outside the cluster lock) each
+	// time a failed rank is actually restarted. The chaos layer uses it to
+	// trigger kills during recovery.
+	OnRespawn func(rank int, tid pvm.TID)
+	// Chaos, when non-nil, attaches a seeded netsim fault-injection plan
+	// (jitter, notification drop/duplication, scheduled kills) to the
+	// simulated network.
+	Chaos *netsim.FaultPlan
 }
 
 // Cluster is a running (or runnable) simulated cluster.
@@ -49,8 +57,10 @@ type Cluster struct {
 	tids     []pvm.TID
 	tasks    []*pvm.Task
 	allTasks []*pvm.Task // every incarnation, for error collection
+	procs    []*sam.Proc // current incarnation's process per rank
 	stats    []*stats.Proc
 	finished []bool
+	appDone  []bool // rank's application has completed (any incarnation)
 	halted   bool
 
 	started  chan struct{}
@@ -65,14 +75,19 @@ func New(cfg Config) *Cluster {
 	if cfg.AppFactory == nil {
 		panic("cluster: AppFactory required")
 	}
-	netCfg := netsim.Config{Cost: cfg.Cost}
+	if cfg.Chaos != nil && cfg.Chaos.NotifyTag == 0 {
+		cfg.Chaos.NotifyTag = pvm.TagTaskExit
+	}
+	netCfg := netsim.Config{Cost: cfg.Cost, Chaos: cfg.Chaos}
 	c := &Cluster{
 		cfg:      cfg,
 		machine:  pvm.NewMachine(netCfg),
 		tids:     make([]pvm.TID, cfg.N),
 		tasks:    make([]*pvm.Task, cfg.N),
+		procs:    make([]*sam.Proc, cfg.N),
 		stats:    make([]*stats.Proc, cfg.N),
 		finished: make([]bool, cfg.N),
+		appDone:  make([]bool, cfg.N),
 		started:  make(chan struct{}),
 		finishCh: make(chan int, cfg.N*4),
 	}
@@ -120,43 +135,80 @@ func (c *Cluster) spawn(rank int, recovering bool) *pvm.Task {
 			Trace:         c.cfg.Trace,
 		}
 		p := sam.NewProc(t, cfg)
+		c.mu.Lock()
+		if c.tids[rank] == t.TID() {
+			c.procs[rank] = p // current incarnation (a racing respawn wins)
+		}
+		c.mu.Unlock()
 		if p.Run(c.cfg.AppFactory(rank)) {
+			c.mu.Lock()
+			c.appDone[rank] = true
+			c.mu.Unlock()
 			c.finishCh <- rank
 		}
 	})
 }
 
 // respawn restarts a failed rank on behalf of the recovery coordinator
-// and returns the replacement's tid (NoTID while halting).
-func (c *Cluster) respawn(rank int) pvm.TID {
+// and returns the replacement's tid (NoTID while halting). It is
+// idempotent per failed incarnation: with overlapping failures, several
+// processes may briefly believe they coordinate the same recovery, and
+// only the first restart request for a given dead tid spawns a process —
+// later ones are answered with the already-running replacement's tid.
+func (c *Cluster) respawn(rank int, dead pvm.TID) pvm.TID {
 	// The lock is held across the spawn so the new task body (which also
 	// takes it to snapshot the rank table) observes its own fresh tid.
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.halted {
+		c.mu.Unlock()
 		return pvm.NoTID
+	}
+	if c.tids[rank] != dead {
+		tid := c.tids[rank]
+		c.mu.Unlock()
+		return tid // already restarted by a competing coordinator
 	}
 	task := c.spawn(rank, true)
 	c.tids[rank] = task.TID()
 	c.tasks[rank] = task
 	c.allTasks = append(c.allTasks, task)
-	return task.TID()
+	c.stats[rank].Recoveries.Add(1)
+	cb := c.cfg.OnRespawn
+	tid := task.TID()
+	c.mu.Unlock()
+	if cb != nil {
+		cb(rank, tid)
+	}
+	return tid
 }
 
 // Kill injects the failure of a rank's current incarnation, as if its
-// workstation rebooted.
-func (c *Cluster) Kill(rank int) {
+// workstation rebooted. It is a documented safe no-op — returning false —
+// on an out-of-range rank, a rank whose application has already finished,
+// a never-started or already-dead incarnation, and a halted cluster; it
+// returns true only when a live process was actually killed. The chaos
+// runner uses the signal to count effective injections.
+func (c *Cluster) Kill(rank int) bool {
 	c.mu.Lock()
+	if rank < 0 || rank >= c.cfg.N || c.halted || c.appDone[rank] {
+		c.mu.Unlock()
+		return false
+	}
 	tid := c.tids[rank]
 	c.mu.Unlock()
-	c.machine.Kill(tid)
+	if tid == pvm.NoTID {
+		return false
+	}
+	return c.machine.Kill(tid)
 }
 
-// Wait blocks until every rank's application has completed (surviving
-// kills via recovery), then halts the machine. It returns the first task
-// error observed, if any.
-func (c *Cluster) Wait(timeout time.Duration) error {
+// WaitFinished blocks until every rank's application has completed
+// (surviving kills via recovery) without halting the machine, so callers
+// can still inspect or quiesce the cluster. Returns an error on timeout.
+func (c *Cluster) WaitFinished(timeout time.Duration) error {
 	deadline := time.After(timeout)
+	probe := time.NewTicker(50 * time.Millisecond)
+	defer probe.Stop()
 	remaining := c.cfg.N
 	for remaining > 0 {
 		select {
@@ -167,14 +219,91 @@ func (c *Cluster) Wait(timeout time.Duration) error {
 				remaining--
 			}
 			c.mu.Unlock()
+		case <-probe.C:
+			// Fail fast on an application error: a rank that died on a
+			// real panic (injected kills end without error) never
+			// finishes, and waiting out the full timeout hides the cause.
+			if err := c.firstError(); err != nil {
+				return fmt.Errorf("cluster: application failed: %w", err)
+			}
 		case <-deadline:
-			c.halt()
 			return fmt.Errorf("cluster: timeout with %d ranks unfinished", remaining)
 		}
 	}
+	return nil
+}
+
+// Wait blocks until every rank's application has completed, then halts
+// the machine. It returns the first task error observed, if any.
+func (c *Cluster) Wait(timeout time.Duration) error {
+	err := c.WaitFinished(timeout)
 	c.halt()
+	if err != nil {
+		return err
+	}
 	return c.firstError()
 }
+
+// Quiesce waits for the cluster's protocol traffic to drain: every live
+// endpoint's mailbox empty and no process handling new events across a
+// few consecutive samples. Returns false if the traffic does not settle
+// within the timeout. Meaningful after WaitFinished (applications done,
+// runtimes still serving).
+func (c *Cluster) Quiesce(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	var last struct {
+		pending   int
+		processed int64
+	}
+	stable := 0
+	for time.Now().Before(deadline) {
+		c.mu.Lock()
+		pending := 0
+		var processed int64
+		for rank, t := range c.tasks {
+			if t == nil {
+				continue
+			}
+			pending += t.Endpoint().Pending()
+			if p := c.procs[rank]; p != nil {
+				processed += p.ProcessedCount()
+			}
+		}
+		c.mu.Unlock()
+		if pending == 0 && pending == last.pending && processed == last.processed {
+			stable++
+			if stable >= 3 {
+				return true
+			}
+		} else {
+			stable = 0
+		}
+		last.pending, last.processed = pending, processed
+		time.Sleep(2 * time.Millisecond)
+	}
+	return false
+}
+
+// InvariantSnapshots collects each rank's end-of-run state summary. Call
+// only after Halt: snapshots read runtime-goroutine state, so each
+// process's runtime must have exited (this method waits for that).
+func (c *Cluster) InvariantSnapshots() []sam.InvariantSnapshot {
+	c.mu.Lock()
+	procs := append([]*sam.Proc(nil), c.procs...)
+	c.mu.Unlock()
+	snaps := make([]sam.InvariantSnapshot, 0, len(procs))
+	for _, p := range procs {
+		if p == nil {
+			continue
+		}
+		<-p.Done()
+		snaps = append(snaps, p.Invariants())
+	}
+	return snaps
+}
+
+// Err returns the first error any incarnation's task body reported.
+func (c *Cluster) Err() error { return c.firstError() }
 
 func (c *Cluster) halt() {
 	c.mu.Lock()

@@ -1,0 +1,101 @@
+package cluster_test
+
+import (
+	"testing"
+	"time"
+
+	"samft/internal/cluster"
+	"samft/internal/codec"
+	"samft/internal/ft"
+	"samft/internal/sam"
+)
+
+type killTestState struct {
+	Step int64
+}
+
+func init() { codec.Register("cluster.killTestState", killTestState{}) }
+
+// gateApp parks every rank in step 1 until release is closed, giving the
+// test a window in which all ranks are provably live.
+type gateApp struct {
+	release <-chan struct{}
+	st      killTestState
+}
+
+func (a *gateApp) Init(*sam.Proc) {}
+
+func (a *gateApp) Step(p *sam.Proc, step int64) bool {
+	if step == 1 {
+		<-a.release
+	}
+	p.Compute(50)
+	a.st.Step = step
+	return step < 2
+}
+
+func (a *gateApp) Snapshot() interface{} { return &a.st }
+func (a *gateApp) Restore(s interface{}) { a.st = *(s.(*killTestState)) }
+
+// TestClusterKillSemantics pins down Kill's documented contract: it is a
+// safe no-op returning false on an out-of-range rank, a never-started
+// incarnation, a rank whose application has finished, and a halted
+// cluster; it returns true exactly when a live process was killed (and
+// the computation still completes via recovery).
+func TestClusterKillSemantics(t *testing.T) {
+	release := make(chan struct{})
+	defer func() {
+		select {
+		case <-release:
+		default:
+			close(release)
+		}
+	}()
+
+	cl := cluster.New(cluster.Config{
+		N:      2,
+		Policy: ft.PolicySAM,
+		Degree: 1,
+		AppFactory: func(rank int) sam.App {
+			return &gateApp{release: release}
+		},
+	})
+
+	// Before Start: no incarnation exists yet.
+	if cl.Kill(0) {
+		t.Error("Kill on a never-started incarnation returned true")
+	}
+
+	cl.Start()
+
+	// Out-of-range ranks are rejected outright.
+	if cl.Kill(-1) {
+		t.Error("Kill(-1) returned true")
+	}
+	if cl.Kill(2) {
+		t.Error("Kill(N) returned true")
+	}
+
+	// Both ranks are parked in step 1: this kill must hit a live process.
+	if !cl.Kill(1) {
+		t.Error("Kill on a live rank returned false")
+	}
+
+	close(release)
+	if err := cl.WaitFinished(2 * time.Minute); err != nil {
+		t.Fatalf("computation did not survive the injected kill: %v", err)
+	}
+
+	// The application has finished everywhere: further kills are no-ops.
+	if cl.Kill(0) {
+		t.Error("Kill on a finished rank returned true")
+	}
+
+	cl.Halt()
+	if cl.Kill(1) {
+		t.Error("Kill on a halted cluster returned true")
+	}
+	if err := cl.Err(); err != nil {
+		t.Fatalf("unexpected task error: %v", err)
+	}
+}

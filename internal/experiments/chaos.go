@@ -1,0 +1,281 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"samft/internal/ft"
+	"samft/internal/sam"
+	"samft/internal/xrand"
+)
+
+// The chaos runner turns the paper's central robustness claim — degree-k
+// replication tolerates k simultaneous workstation failures with no
+// survivor rollback — into a tested property: N seeded randomized kill
+// schedules per application, each verified byte-for-byte against the
+// fault-free answer and checked for post-run state invariants.
+
+// ChaosSpec configures one application's chaos sweep.
+type ChaosSpec struct {
+	App    AppKind
+	N      int // cluster size (default 4)
+	Degree int // replication degree (default 2)
+	Scale  Scale
+	// Schedules is the number of seeded kill schedules to run (default 20).
+	// The first few are fixed archetypes covering the known-hard cases
+	// (coordinator + survivor, re-kill during recovery, …); the rest are
+	// randomized from Seed.
+	Schedules int
+	Seed      uint64
+	// MaxKills bounds the failures per schedule (default 2 = Degree).
+	MaxKills int
+	// Jitter adds seeded per-message delay jitter; NotifyChaos drops and
+	// duplicates exit notifications.
+	Jitter      bool
+	NotifyChaos bool
+}
+
+func (s *ChaosSpec) fill() {
+	if s.N <= 0 {
+		s.N = 4
+	}
+	if s.Degree <= 0 {
+		s.Degree = 2
+	}
+	if s.Schedules <= 0 {
+		s.Schedules = 20
+	}
+	if s.MaxKills <= 0 {
+		s.MaxKills = 2
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+}
+
+// ChaosSchedule is one generated schedule plus its verdict.
+type ChaosSchedule struct {
+	Index  int
+	Kills  []KillEvent
+	Result Result
+	// Problems lists everything wrong with this schedule's run: an answer
+	// mismatch vs. the fault-free baseline, invariant violations, errors.
+	Problems []string
+}
+
+// ChaosResult is one application's sweep outcome.
+type ChaosResult struct {
+	Spec      ChaosSpec
+	Baseline  float64 // fault-free answer
+	Schedules []ChaosSchedule
+	Failed    int // schedules with problems
+}
+
+// chaosSchedule generates the kill schedule for index i. Indices 0–3 are
+// fixed archetypes hitting the hardened recovery paths; later indices are
+// randomized from (seed, app, i) via the splittable PRNG, so any failing
+// schedule is reproducible from its index alone.
+func chaosSchedule(spec ChaosSpec, i int) []KillEvent {
+	switch i {
+	case 0:
+		// Two simultaneous kills including the coordinator (rank 0) and a
+		// survivor that holds recovery state for it.
+		return []KillEvent{{Rank: 0, Step: 2}, {Rank: 1, Step: 2}}
+	case 1:
+		// Re-kill the recovering process before it can finish restoring.
+		return []KillEvent{
+			{Rank: 2, Step: 2},
+			{Rank: 2, OnRecovery: true, RecoveryOf: 2},
+		}
+	case 2:
+		// Kill a survivor while it is contributing to another rank's
+		// recovery (its kRecoverFin is lost).
+		return []KillEvent{
+			{Rank: 1, Step: 2},
+			{Rank: 3, OnRecovery: true, RecoveryOf: 1},
+		}
+	case 3:
+		// The takeover case: kill the coordinator, then kill the next
+		// coordinator in line mid-recovery.
+		return []KillEvent{
+			{Rank: 0, Step: 1},
+			{Rank: 1, OnRecovery: true, RecoveryOf: 0},
+		}
+	}
+	rng := xrand.At(spec.Seed, int64(spec.App), int64(i))
+	n := 1 + rng.Intn(spec.MaxKills)
+	kills := make([]KillEvent, 0, n)
+	// First kill is always step-triggered; later ones may ride the first
+	// kills' recoveries. Steps stay in [1,3]: every app has at least three
+	// steps at any scale, so the schedule lands inside live computation.
+	kills = append(kills, KillEvent{Rank: rng.Intn(spec.N), Step: int64(1 + rng.Intn(3))})
+	for k := 1; k < n; k++ {
+		if rng.Intn(2) == 0 {
+			prev := kills[rng.Intn(len(kills))]
+			kills = append(kills, KillEvent{
+				Rank:       rng.Intn(spec.N),
+				OnRecovery: true,
+				RecoveryOf: prev.Rank,
+			})
+		} else {
+			kills = append(kills, KillEvent{Rank: rng.Intn(spec.N), Step: int64(1 + rng.Intn(3))})
+		}
+	}
+	return kills
+}
+
+// RunChaos executes a fault-free baseline run and then every schedule,
+// comparing answers bit-for-bit and collecting invariant violations. The
+// schedules run concurrently under the RunAll worker bound.
+func RunChaos(spec ChaosSpec) (ChaosResult, error) {
+	spec.fill()
+	base := Spec{App: spec.App, N: spec.N, Policy: ft.PolicySAM, Degree: spec.Degree, Scale: spec.Scale}
+	baseline, err := Run(base)
+	if err != nil {
+		return ChaosResult{}, fmt.Errorf("chaos baseline: %w", err)
+	}
+
+	specs := make([]Spec, spec.Schedules)
+	schedules := make([][]KillEvent, spec.Schedules)
+	for i := range specs {
+		schedules[i] = chaosSchedule(spec, i)
+		s := base
+		s.Kills = schedules[i]
+		s.CheckInvariants = true
+		s.ChaosSeed = spec.Seed + uint64(i)
+		if spec.Jitter {
+			s.JitterUS = 40 // ~half the modeled one-way latency
+		}
+		s.NotifyDrop = spec.NotifyChaos
+		s.NotifyDup = spec.NotifyChaos
+		specs[i] = s
+	}
+
+	out := ChaosResult{Spec: spec, Baseline: baseline.Answer}
+	results, err := RunAll(specs)
+	if err != nil {
+		return out, err
+	}
+	for i, res := range results {
+		sched := ChaosSchedule{Index: i, Kills: schedules[i], Result: res}
+		if math.Float64bits(res.Answer) != math.Float64bits(baseline.Answer) {
+			sched.Problems = append(sched.Problems, fmt.Sprintf(
+				"answer mismatch: got %v, fault-free run produced %v", res.Answer, baseline.Answer))
+		}
+		sched.Problems = append(sched.Problems, res.InvariantViolations...)
+		if len(sched.Problems) > 0 {
+			out.Failed++
+		}
+		out.Schedules = append(out.Schedules, sched)
+	}
+	return out, nil
+}
+
+// CheckInvariants validates the paper's end-state guarantees over a
+// quiesced cluster's per-rank snapshots:
+//
+//   - exactly one created main copy per object name across the cluster;
+//   - every non-freeable, checkpointed main copy is backed by at least
+//     min(degree, n-1) up-to-date checkpoint copies on other ranks;
+//   - no provisional state survived: no inactive objects, pending copies,
+//     staged private-state replicas, open transactions, or deferred
+//     messages.
+func CheckInvariants(snaps []sam.InvariantSnapshot, n, degree int) []string {
+	var out []string
+	type copyRec struct {
+		rank, owner int
+		seq         int64
+	}
+	mains := make(map[uint64][]int)
+	copies := make(map[uint64][]copyRec)
+	for _, s := range snaps {
+		for _, o := range s.Objects {
+			if o.Main && o.Created {
+				mains[o.Name] = append(mains[o.Name], s.Rank)
+			}
+			if o.CkptCopy {
+				copies[o.Name] = append(copies[o.Name], copyRec{s.Rank, o.CopyOwner, o.CopySeq})
+			}
+			if o.Inactive {
+				out = append(out, fmt.Sprintf("rank %d: object %d left inactive (uncommitted checkpoint data)", s.Rank, o.Name))
+			}
+			if o.PendingCopy {
+				out = append(out, fmt.Sprintf("rank %d: object %d has a pending (unactivated) checkpoint copy", s.Rank, o.Name))
+			}
+		}
+		if s.StagedPriv > 0 {
+			out = append(out, fmt.Sprintf("rank %d: %d staged private-state replicas never activated", s.Rank, s.StagedPriv))
+		}
+		if s.OpenTx {
+			out = append(out, fmt.Sprintf("rank %d: checkpoint transaction left open", s.Rank))
+		}
+		if s.DeferredMsgs > 0 {
+			out = append(out, fmt.Sprintf("rank %d: %d messages left deferred behind a transaction", s.Rank, s.DeferredMsgs))
+		}
+	}
+	for name, ranks := range mains {
+		if len(ranks) > 1 {
+			sort.Ints(ranks)
+			out = append(out, fmt.Sprintf("object %d forked: main copies at ranks %v", name, ranks))
+		}
+	}
+	want := degree
+	if n-1 < want {
+		want = n - 1
+	}
+	for _, s := range snaps {
+		for _, o := range s.Objects {
+			if !o.Main || !o.Created || o.Freeable || o.CkptSeq == 0 {
+				continue
+			}
+			got := 0
+			for _, c := range copies[o.Name] {
+				if c.rank != s.Rank && c.owner == s.Rank && c.seq >= o.CkptSeq {
+					got++
+				}
+			}
+			if got < want {
+				out = append(out, fmt.Sprintf(
+					"rank %d: object %d checkpoint coverage %d < %d (seq %d)", s.Rank, o.Name, got, want, o.CkptSeq))
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Print renders a chaos sweep summary.
+func (r ChaosResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "== %s chaos: %d schedules, N=%d degree=%d seed=%d ==\n",
+		r.Spec.App, len(r.Schedules), r.Spec.N, r.Spec.Degree, r.Spec.Seed)
+	fmt.Fprintf(w, "fault-free answer: %v\n", r.Baseline)
+	for _, s := range r.Schedules {
+		status := "ok"
+		if len(s.Problems) > 0 {
+			status = "FAIL"
+		}
+		fmt.Fprintf(w, "%4d %-4s kills=%d applied=%d %s\n",
+			s.Index, status, len(s.Kills), s.Result.KillsApplied, formatKills(s.Kills))
+		for _, p := range s.Problems {
+			fmt.Fprintf(w, "       %s\n", p)
+		}
+	}
+	fmt.Fprintf(w, "failed: %d/%d\n", r.Failed, len(r.Schedules))
+}
+
+func formatKills(kills []KillEvent) string {
+	s := ""
+	for i, k := range kills {
+		if i > 0 {
+			s += ", "
+		}
+		if k.OnRecovery {
+			s += fmt.Sprintf("kill %d during recovery of %d", k.Rank, k.RecoveryOf)
+		} else {
+			s += fmt.Sprintf("kill %d at step %d", k.Rank, k.Step)
+		}
+	}
+	return s
+}

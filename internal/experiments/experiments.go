@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"samft/internal/apps/barnes"
@@ -16,6 +17,8 @@ import (
 	"samft/internal/ckpt"
 	"samft/internal/cluster"
 	"samft/internal/ft"
+	"samft/internal/netsim"
+	"samft/internal/pvm"
 	"samft/internal/sam"
 	"samft/internal/stats"
 )
@@ -52,6 +55,21 @@ const (
 	Paper
 )
 
+// KillEvent schedules one failure injection within a run.
+type KillEvent struct {
+	// Rank is the victim's logical rank.
+	Rank int
+	// Step, when > 0, fires the kill when the victim's application
+	// reaches that step.
+	Step int64
+	// OnRecovery, instead, fires the kill the moment rank RecoveryOf's
+	// replacement process is spawned — a failure injected mid-recovery.
+	// Rank == RecoveryOf re-kills the recovering process itself before it
+	// can finish restoring.
+	OnRecovery bool
+	RecoveryOf int
+}
+
 // Spec describes one cluster run.
 type Spec struct {
 	App    AppKind
@@ -62,10 +80,19 @@ type Spec struct {
 	// Consistent wraps the app with the global-checkpointing baseline (A3).
 	Consistent bool
 	Scale      Scale
-	// KillRank / KillStep inject a failure at the given application step
-	// (KillStep 0 = no failure).
-	KillRank int
-	KillStep int64
+	// Kills is the failure-injection schedule (empty = fault-free run).
+	// Each event fires at most once.
+	Kills []KillEvent
+	// Chaos-network knobs: seeded per-message delay jitter (microseconds)
+	// and exit-notification drop/duplication. Any nonzero setting attaches
+	// a netsim fault plan seeded with ChaosSeed.
+	ChaosSeed  uint64
+	JitterUS   float64
+	NotifyDrop bool
+	NotifyDup  bool
+	// CheckInvariants runs post-completion consistency checks (quiesce,
+	// then per-rank state snapshots); violations land in the Result.
+	CheckInvariants bool
 	// Seed, when nonzero, overrides the application's default master seed
 	// (per-cell seeds for sweeps that want independent datasets).
 	Seed uint64
@@ -86,6 +113,13 @@ type Result struct {
 	// RecoverySec is the wall-clock time from failure injection to the
 	// first completed recovery (0 when no failure was injected).
 	RecoverySec float64
+	// KillsApplied counts kill events that actually took down a live
+	// process (an event can be a no-op, e.g. an OnRecovery trigger whose
+	// subject never failed).
+	KillsApplied int
+	// InvariantViolations holds post-run consistency failures (only
+	// collected when Spec.CheckInvariants is set).
+	InvariantViolations []string
 }
 
 type hooked struct {
@@ -166,9 +200,24 @@ func Run(spec Spec) (Result, error) {
 	}
 	ans := &answerBox{}
 	var cl *cluster.Cluster
-	var killOnce sync.Once
+	killOnces := make([]sync.Once, len(spec.Kills))
+	var killsApplied atomic.Int64
 	var killAt, recoveredAt time.Time
 	var recMu sync.Mutex
+
+	// fire executes kill event i exactly once.
+	fire := func(i int) {
+		killOnces[i].Do(func() {
+			recMu.Lock()
+			if killAt.IsZero() {
+				killAt = time.Now()
+			}
+			recMu.Unlock()
+			if cl.Kill(spec.Kills[i].Rank) {
+				killsApplied.Add(1)
+			}
+		})
+	}
 
 	factory := func(rank int) sam.App {
 		var app sam.App
@@ -225,18 +274,25 @@ func Run(spec Spec) (Result, error) {
 			app = ckpt.NewConsistent(app, rank, spec.N, ckpt.DefaultConsistentConfig())
 		}
 		hook := func(r int, s int64) {
-			if spec.KillStep > 0 && r == spec.KillRank && s >= spec.KillStep {
-				killOnce.Do(func() {
-					recMu.Lock()
-					killAt = time.Now()
-					recMu.Unlock()
-					cl.Kill(spec.KillRank)
-				})
+			for i := range spec.Kills {
+				ev := spec.Kills[i]
+				if !ev.OnRecovery && ev.Step > 0 && r == ev.Rank && s >= ev.Step {
+					fire(i)
+				}
 			}
 		}
 		return &hooked{App: app, hook: hook, rank: rank}
 	}
 
+	var chaos *netsim.FaultPlan
+	if spec.JitterUS > 0 || spec.NotifyDrop || spec.NotifyDup {
+		chaos = &netsim.FaultPlan{
+			Seed:       spec.ChaosSeed,
+			JitterUS:   spec.JitterUS,
+			DropNotify: spec.NotifyDrop,
+			DupNotify:  spec.NotifyDup,
+		}
+	}
 	cl = cluster.New(cluster.Config{
 		N:           spec.N,
 		Policy:      spec.Policy,
@@ -244,19 +300,56 @@ func Run(spec Spec) (Result, error) {
 		EagerFree:   spec.Eager,
 		NoSnapCache: spec.NoSnapCache,
 		AppFactory:  factory,
+		Chaos:       chaos,
+		OnRespawn: func(rank int, _ pvm.TID) {
+			for i := range spec.Kills {
+				ev := spec.Kills[i]
+				if ev.OnRecovery && ev.RecoveryOf == rank {
+					fire(i)
+				}
+			}
+		},
 	})
 	start := time.Now()
-	rep, err := cl.Run(10 * time.Minute)
-	wall := time.Since(start).Seconds()
-	if err != nil {
-		return Result{}, err
+	var rep stats.Report
+	var violations []string
+	if spec.CheckInvariants {
+		cl.Start()
+		err := cl.WaitFinished(10 * time.Minute)
+		if err == nil && !cl.Quiesce(10*time.Second) {
+			violations = append(violations, "quiesce: protocol traffic did not settle")
+		}
+		cl.Halt()
+		if err == nil {
+			err = cl.Err()
+		}
+		if err != nil {
+			return Result{}, err
+		}
+		rep = cl.Report()
+		if len(violations) == 0 {
+			degree := spec.Degree
+			if degree <= 0 {
+				degree = 1
+			}
+			violations = CheckInvariants(cl.InvariantSnapshots(), spec.N, degree)
+		}
+	} else {
+		var err error
+		rep, err = cl.Run(10 * time.Minute)
+		if err != nil {
+			return Result{}, err
+		}
 	}
+	wall := time.Since(start).Seconds()
 	res := Result{
-		Spec:       spec,
-		ModeledSec: rep.Elapsed,
-		WallSec:    wall,
-		Report:     rep,
-		Answer:     ans.get(),
+		Spec:                spec,
+		ModeledSec:          rep.Elapsed,
+		WallSec:             wall,
+		Report:              rep,
+		Answer:              ans.get(),
+		KillsApplied:        int(killsApplied.Load()),
+		InvariantViolations: violations,
 	}
 	recMu.Lock()
 	if !killAt.IsZero() && !recoveredAt.IsZero() {

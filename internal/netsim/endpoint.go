@@ -119,9 +119,23 @@ func (e *Endpoint) Send(dst TID, tag int, payload []byte) error {
 	}
 	e.clockUS += cost.SendOverheadUS
 	arrival := e.clockUS + cost.TransferUS(len(payload))
+	senderClock := e.clockUS
 	e.stats.MsgsSent++
 	e.stats.BytesSent += int64(len(payload))
 	e.mu.Unlock()
+
+	// Chaos hooks: seeded per-message jitter perturbs the arrival time,
+	// and this send may push a message-count or modeled-time kill trigger
+	// past its threshold. Triggers fire before delivery, so a kill
+	// scheduled "at message N" can swallow message N itself.
+	if c := e.net.chaos; c != nil {
+		jitter, due := c.onSend(senderClock)
+		arrival += jitter
+		if len(due) > 0 {
+			e.net.fireTriggers(due)
+		}
+		e.net.CheckClockTriggers()
+	}
 
 	e.net.mu.Lock()
 	target, known := e.net.endpoints[dst]
@@ -143,6 +157,24 @@ func (e *Endpoint) deliver(m *Message) {
 	e.queue = append(e.queue, m)
 	e.cond.Broadcast()
 	e.mu.Unlock()
+}
+
+// deliverExit enqueues an exit notification, reporting whether it was
+// actually queued. Unlike deliver it still enqueues after the network has
+// closed: a watcher tearing down must be able to observe a death it
+// explicitly subscribed to (Recv matches queued messages before reporting
+// ErrClosed). Dead endpoints drop — the caller uses the return value to
+// guarantee at least one live watcher observes a kill.
+func (e *Endpoint) deliverExit(m *Message) bool {
+	e.mu.Lock()
+	if e.dead {
+		e.mu.Unlock()
+		return false
+	}
+	e.queue = append(e.queue, m)
+	e.cond.Broadcast()
+	e.mu.Unlock()
+	return true
 }
 
 // match returns the index of the first queued message matching src/tag
@@ -172,7 +204,10 @@ func (e *Endpoint) take(i int) *Message {
 
 // Recv blocks until a message matching src/tag is available and returns it.
 // It returns ErrKilled if the endpoint is killed while waiting and
-// ErrClosed if the network is shut down.
+// ErrClosed if the network is shut down. Queued messages (in particular
+// exit notifications delivered during teardown) are matched before the
+// closed state is reported, so a subscriber can drain notifications it
+// was promised even while the machine halts.
 func (e *Endpoint) Recv(src TID, tag int) (*Message, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -180,29 +215,30 @@ func (e *Endpoint) Recv(src TID, tag int) (*Message, error) {
 		if e.dead {
 			return nil, ErrKilled
 		}
-		if e.closed {
-			return nil, ErrClosed
-		}
 		if i := e.match(src, tag); i >= 0 {
 			return e.take(i), nil
+		}
+		if e.closed {
+			return nil, ErrClosed
 		}
 		e.cond.Wait()
 	}
 }
 
 // TryRecv returns a matching message if one is queued, else (nil, nil).
-// The error reports killed/closed states.
+// The error reports killed/closed states; like Recv, queued matches win
+// over ErrClosed.
 func (e *Endpoint) TryRecv(src TID, tag int) (*Message, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.dead {
 		return nil, ErrKilled
 	}
-	if e.closed {
-		return nil, ErrClosed
-	}
 	if i := e.match(src, tag); i >= 0 {
 		return e.take(i), nil
+	}
+	if e.closed {
+		return nil, ErrClosed
 	}
 	return nil, nil
 }

@@ -90,6 +90,9 @@ func (c CostModel) TransferUS(bytes int) float64 {
 // Config configures a Network.
 type Config struct {
 	Cost CostModel
+	// Chaos, when non-nil, attaches a seeded fault-injection plan (see
+	// FaultPlan) to the network.
+	Chaos *FaultPlan
 }
 
 // DefaultConfig returns a Config with the AN2 cost model.
@@ -131,6 +134,9 @@ type Network struct {
 	// notified when it dies (pvm_notify).
 	watchers map[TID]map[TID]bool
 	closed   bool
+
+	// chaos is the fault-injection runtime, nil unless Config.Chaos was set.
+	chaos *chaosState
 }
 
 // New creates an empty network with the given configuration.
@@ -143,6 +149,7 @@ func New(cfg Config) *Network {
 		nextTID:   100, // distinguishable from small ranks in logs
 		endpoints: make(map[TID]*Endpoint),
 		watchers:  make(map[TID]map[TID]bool),
+		chaos:     newChaosState(cfg.Chaos),
 	}
 }
 
@@ -178,13 +185,21 @@ func (n *Network) Lookup(tid TID) *Endpoint {
 func (n *Network) Alive(tid TID) bool { return n.Lookup(tid) != nil }
 
 // Notify registers watcher to receive an exit notification message (with
-// the given tag) when target dies. If target is already dead or unknown the
-// notification is delivered immediately, matching PVM semantics.
+// the given tag) when target dies. If target is already dead or unknown —
+// or the whole network has been shut down — the notification is delivered
+// immediately, matching PVM semantics (pvmd answers a notify request for
+// an exited task right away).
+//
+// Because Kill marks the target dead while still holding the network lock,
+// Notify cannot observe the target alive after Kill has claimed its
+// watcher set: either the registration lands in the set Kill will drain,
+// or Notify sees the target dead and self-delivers. Either way exactly one
+// code path produces the exit message.
 func (n *Network) Notify(watcher, target TID, tag int) {
 	n.mu.Lock()
 	w := n.endpoints[watcher]
 	t, ok := n.endpoints[target]
-	dead := !ok || t.isDead()
+	dead := n.closed || !ok || t.isDead()
 	if !dead {
 		set := n.watchers[target]
 		if set == nil {
@@ -195,32 +210,75 @@ func (n *Network) Notify(watcher, target TID, tag int) {
 	}
 	n.mu.Unlock()
 	if dead && w != nil {
-		w.deliver(&Message{Src: target, Dst: watcher, Tag: tag, Payload: exitPayload(target)})
+		w.deliverExit(&Message{Src: target, Dst: watcher, Tag: tag, Payload: exitPayload(target)})
 	}
 }
 
 // Kill atomically silences the endpoint: all queued messages are dropped,
 // blocked receivers return ErrKilled, subsequent sends to it vanish, and
 // every watcher receives an exit notification carrying the dead TID.
-// Killing an already-dead or unknown TID is a no-op.
-func (n *Network) Kill(tid TID, notifyTag int) {
+// Killing an already-dead or unknown TID is a safe no-op. The return value
+// reports whether this call actually killed a live endpoint (the chaos
+// runner uses it to tell injected failures from no-ops).
+func (n *Network) Kill(tid TID, notifyTag int) bool {
 	n.mu.Lock()
 	e := n.endpoints[tid]
 	if e == nil || e.isDead() {
 		n.mu.Unlock()
-		return
+		return false
 	}
 	watchers := n.watchers[tid]
 	delete(n.watchers, tid)
+	// Mark the endpoint dead before releasing the network lock: a
+	// concurrent Notify must either land in the watcher set claimed above
+	// or observe the death and deliver immediately — never neither.
+	e.kill()
 	n.mu.Unlock()
 
-	e.kill()
-
-	for w := range watchers {
-		if we := n.Lookup(w); we != nil {
-			we.deliver(&Message{Src: tid, Dst: w, Tag: notifyTag, Payload: exitPayload(tid)})
+	// Decide notification fates over watchers that are still alive: a
+	// registered watcher may itself have died (simultaneous failures), and
+	// counting it toward the "at least one notification survives" floor
+	// would let chaos drop every deliverable copy — an unobserved failure
+	// that no detector in the system can ever notice.
+	targets := sortedTIDs(watchers)
+	live := make([]TID, 0, len(targets))
+	for _, w := range targets {
+		if n.Lookup(w) != nil {
+			live = append(live, w)
 		}
 	}
+	fates := make([]int, len(live))
+	for i := range fates {
+		fates[i] = 1
+	}
+	if n.chaos != nil && (n.chaos.plan.DropNotify || n.chaos.plan.DupNotify) {
+		fates = n.chaos.notifyFates(len(live))
+	}
+	exit := func(w TID) bool {
+		we := n.Lookup(w)
+		if we == nil {
+			return false
+		}
+		return we.deliverExit(&Message{Src: tid, Dst: w, Tag: notifyTag, Payload: exitPayload(tid)})
+	}
+	delivered := 0
+	for i, w := range live {
+		for c := 0; c < fates[i]; c++ {
+			if exit(w) {
+				delivered++
+			}
+		}
+	}
+	if delivered == 0 {
+		// Every fated delivery was dropped or raced with its watcher's own
+		// death: force one copy to the first watcher still able to take it.
+		for _, w := range live {
+			if exit(w) {
+				break
+			}
+		}
+	}
+	return true
 }
 
 // Close shuts the whole network down, unblocking every receiver with

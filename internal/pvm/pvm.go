@@ -83,9 +83,10 @@ func (m *Machine) Spawn(name string, body func(*Task)) *Task {
 
 // Kill terminates the task with extreme prejudice, as when a workstation
 // reboots: queued and in-flight messages are lost and watchers are
-// notified. Killing an unknown or dead tid is a no-op.
-func (m *Machine) Kill(tid TID) {
-	m.net.Kill(tid, TagTaskExit)
+// notified. Killing an unknown or dead tid is a safe no-op; the return
+// value reports whether a live task was actually killed.
+func (m *Machine) Kill(tid TID) bool {
+	return m.net.Kill(tid, TagTaskExit)
 }
 
 // Alive reports whether the tid denotes a live task.

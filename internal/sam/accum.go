@@ -350,6 +350,16 @@ func (p *Proc) onAccData(w *wire) {
 		o.state = stInactive
 		o.inactiveFrom = w.SrcRank
 		o.inactiveSeq = w.Seq
+		// The sender's transaction also places fresh checkpoint copies of
+		// this object under our ownership, stamped with the sender's
+		// sequence number. Adopt them as our backing checkpoint:
+		// bookkeeping left over from an earlier ownership epoch names
+		// copies that are gone or stale, and would poison the recovery
+		// re-supply path and free accounting.
+		o.ckptBytes = w.Body
+		o.ckptMeta = o.meta()
+		o.ckptSeq = w.Seq
+		o.lastCkptHolders = ft.CheckpointRanks(uint64(name), p.cfg.Rank, p.cfg.N, p.cfg.Degree)
 		return
 	}
 	o.fetchOutstanding = false

@@ -1,0 +1,69 @@
+package sam
+
+// Post-run invariant snapshots. The chaos harness uses these to check
+// that a run that survived injected failures ended in a consistent state:
+// exactly one created main copy per object across the cluster, checkpoint
+// coverage at the replication degree, and no provisional (uncommitted)
+// state left behind.
+
+// ObjectInvariant is the externally checkable slice of one object entry.
+type ObjectInvariant struct {
+	Name uint64
+	// Main/Created describe the main-copy role; Freeable mains may have
+	// had their checkpoint copies legitimately dropped.
+	Main     bool
+	Created  bool
+	Freeable bool
+	// CkptSeq is the owner's last committed checkpoint of the object
+	// (0 = never checkpointed).
+	CkptSeq int64
+	// CkptCopy entries back rank CopyOwner's main copy as of CopySeq.
+	CkptCopy  bool
+	CopyOwner int
+	CopySeq   int64
+	// Inactive and PendingCopy mark provisional state from an uncommitted
+	// checkpoint transaction; none may survive a completed run.
+	Inactive    bool
+	PendingCopy bool
+}
+
+// InvariantSnapshot is one process's end-of-run state summary.
+type InvariantSnapshot struct {
+	Rank    int
+	Objects []ObjectInvariant
+	// StagedPriv counts provisional private-state replicas awaiting an
+	// activation that can no longer come; OpenTx marks an unfinished
+	// checkpoint transaction; DeferredMsgs counts messages parked behind
+	// one. All must be zero/false after a quiesced run.
+	StagedPriv   int
+	OpenTx       bool
+	DeferredMsgs int
+}
+
+// Invariants summarizes this process's object table for post-run checks.
+// It touches runtime-goroutine state without locking, so it must only be
+// called after the runtime has exited (wait on Done(), e.g. after the
+// harness halts the machine).
+func (p *Proc) Invariants() InvariantSnapshot {
+	s := InvariantSnapshot{
+		Rank:         p.cfg.Rank,
+		StagedPriv:   len(p.privStaging),
+		OpenTx:       p.tx != nil,
+		DeferredMsgs: len(p.deferredMsgs),
+	}
+	for _, o := range p.objs {
+		s.Objects = append(s.Objects, ObjectInvariant{
+			Name:        uint64(o.name),
+			Main:        o.isMain,
+			Created:     o.created,
+			Freeable:    o.freeable,
+			CkptSeq:     o.ckptSeq,
+			CkptCopy:    o.ckptCopy,
+			CopyOwner:   o.copyOwner,
+			CopySeq:     o.copySeq,
+			Inactive:    o.state == stInactive,
+			PendingCopy: o.pendingCopy != nil,
+		})
+	}
+	return s
+}

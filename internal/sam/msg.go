@@ -56,6 +56,9 @@ const (
 	kOwnerReport // surviving home -> new process: you own this object (authoritative)
 	kOwnerHint   // previous holder -> new process: a migration sent this object to you (version-stamped)
 	kRecoverFin  // survivor -> new process: my recovery contribution is complete
+	kRecoverReq  // new process -> all: rank Target restarted as NewTID; (re)send your contribution
+	kOwnerQuery  // new process -> home: do I own this hinted object? (version-stamped)
+	kOwnerDeny   // home -> new process: you do not own the queried object; drop the hint
 )
 
 func kindName(k int) string {
@@ -73,6 +76,8 @@ func kindName(k int) string {
 		kFailed:   "Failed", kRecovery: "Recovery", kRecoverPriv: "RecoverPriv",
 		kRecoverData: "RecoverData", kDirReport: "DirReport",
 		kOwnerReport: "OwnerReport", kOwnerHint: "OwnerHint", kRecoverFin: "RecoverFin",
+		kRecoverReq: "RecoverReq",
+		kOwnerQuery: "OwnerQuery", kOwnerDeny: "OwnerDeny",
 	}
 	if n, ok := names[k]; ok {
 		return n

@@ -3,6 +3,7 @@ package sam
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"samft/internal/codec"
 	"samft/internal/ft"
@@ -69,10 +70,44 @@ type Proc struct {
 	ownerConfirmed  map[Name]bool
 	unconfirmedData map[Name]*wire
 	orphanHints     map[Name]int64 // name -> max hinted version pointing at us
-	finsGot         map[int]bool   // survivors whose recovery contribution arrived
-	orphansDecided  bool
+	// pendingOwnerQueries defers answering other ranks' orphan-ownership
+	// queries until this (recovering) home's directory has been rebuilt
+	// from every survivor's reports.
+	pendingOwnerQueries []*wire
+	// recoverInstalled marks names whose recovery data has already been
+	// applied this incarnation. Re-solicited contributions (a survivor
+	// dying mid-recovery makes its replacement contribute again) can
+	// deliver duplicates long after the object migrated away; installing
+	// those would fork the object.
+	recoverInstalled map[Name]bool
+	finsGot          map[int]bool // survivors whose recovery contribution arrived
+	orphansDecided   bool
+
+	// Multi-failure bookkeeping: deadRanks tracks incarnations known dead
+	// but not yet replaced (drives coordinator takeover when the recovery
+	// coordinator itself dies); relayedFail dedupes kFailed relays;
+	// contributedTo records the incarnation each recovery contribution was
+	// sent to; pendingContrib defers contributions while this process's
+	// own state is still being restored.
+	deadRanks      map[int]netsim.TID
+	relayedFail    map[failKey]bool
+	contributedTo  map[int]netsim.TID
+	pendingContrib map[int]bool
+
+	// nProcessed counts runtime-loop events (messages and commands); the
+	// harness samples it to detect quiescence before invariant checks.
+	nProcessed atomic.Int64
 
 	runDone chan struct{} // closed when the runtime goroutine exits
+}
+
+// failKey identifies one relay of a failure report: a (failed incarnation,
+// chosen coordinator) pair, so repeated notifications re-relay only when
+// the coordinator choice changes (e.g. the previous coordinator also died).
+type failKey struct {
+	rank  int
+	tid   netsim.TID
+	coord int
 }
 
 // trigger is a send of nonreproducible data that must ride a checkpoint
@@ -91,28 +126,33 @@ func NewProc(task *pvm.Task, cfg Config) *Proc {
 		panic(fmt.Sprintf("sam: rank table has %d entries for N=%d", len(cfg.Ranks), cfg.N))
 	}
 	p := &Proc{
-		cfg:             cfg,
-		task:            task,
-		st:              cfg.Stats,
-		clocks:          ft.NewClocks(cfg.Rank, cfg.N),
-		taint:           ft.NewTaint(cfg.Policy),
-		cmdq:            make(chan *cmd),
-		netq:            make(chan *netsim.Message, 4096),
-		deadc:           make(chan struct{}),
-		runDone:         make(chan struct{}),
-		ranks:           append([]pvm.TID(nil), cfg.Ranks...),
-		objs:            make(map[Name]*object),
-		dir:             make(map[Name]*dirEntry),
-		privStore:       make(map[int][]byte),
-		privStoreSeq:    make(map[int]int64),
-		privStaging:     make(map[int]*wire),
-		useNotices:      make(map[int]map[Name]int64),
-		freePending:     make(map[Name]bool),
-		restorec:        make(chan restoreResult, 1),
-		ownerConfirmed:  make(map[Name]bool),
-		unconfirmedData: make(map[Name]*wire),
-		orphanHints:     make(map[Name]int64),
-		finsGot:         make(map[int]bool),
+		cfg:              cfg,
+		task:             task,
+		st:               cfg.Stats,
+		clocks:           ft.NewClocks(cfg.Rank, cfg.N),
+		taint:            ft.NewTaint(cfg.Policy),
+		cmdq:             make(chan *cmd),
+		netq:             make(chan *netsim.Message, 4096),
+		deadc:            make(chan struct{}),
+		runDone:          make(chan struct{}),
+		ranks:            append([]pvm.TID(nil), cfg.Ranks...),
+		objs:             make(map[Name]*object),
+		dir:              make(map[Name]*dirEntry),
+		privStore:        make(map[int][]byte),
+		privStoreSeq:     make(map[int]int64),
+		privStaging:      make(map[int]*wire),
+		useNotices:       make(map[int]map[Name]int64),
+		freePending:      make(map[Name]bool),
+		restorec:         make(chan restoreResult, 1),
+		ownerConfirmed:   make(map[Name]bool),
+		unconfirmedData:  make(map[Name]*wire),
+		recoverInstalled: make(map[Name]bool),
+		orphanHints:      make(map[Name]int64),
+		finsGot:          make(map[int]bool),
+		deadRanks:        make(map[int]netsim.TID),
+		relayedFail:      make(map[failKey]bool),
+		contributedTo:    make(map[int]netsim.TID),
+		pendingContrib:   make(map[int]bool),
 	}
 	if cfg.Recovering {
 		p.restore = newRestoreState()
@@ -213,6 +253,19 @@ func (p *Proc) runtime() {
 			p.task.Notify(tid)
 		}
 	}
+	// A recovering process announces its own incarnation to every peer and
+	// asks for their contributions. The coordinator's kRecovery broadcast
+	// usually beats this, but the announcement is what keeps recovery
+	// going when the coordinator dies between respawning us and telling
+	// the others, or when a survivor's earlier contribution went to a
+	// previous (also failed) incarnation.
+	if p.cfg.Recovering {
+		for r := range p.ranks {
+			if r != p.cfg.Rank {
+				p.send(r, &wire{Kind: kRecoverReq, Target: p.cfg.Rank, NewTID: int(p.task.TID())})
+			}
+		}
+	}
 	for {
 		select {
 		case m, ok := <-p.netq:
@@ -220,11 +273,17 @@ func (p *Proc) runtime() {
 				return
 			}
 			p.handleMessage(m)
+			p.nProcessed.Add(1)
 		case c := <-p.cmdq:
 			p.handleCmd(c)
+			p.nProcessed.Add(1)
 		}
 	}
 }
+
+// ProcessedCount reports how many runtime events (messages and commands)
+// this process has handled. The harness polls it to detect quiescence.
+func (p *Proc) ProcessedCount() int64 { return p.nProcessed.Load() }
 
 // reply completes an application command.
 func (p *Proc) reply(c *cmd, obj interface{}, err error) {
@@ -352,6 +411,12 @@ func (p *Proc) dispatch(w *wire) {
 		p.onOwnerHint(w)
 	case kRecoverFin:
 		p.onRecoverFin(w)
+	case kOwnerQuery:
+		p.onOwnerQuery(w)
+	case kOwnerDeny:
+		p.onOwnerDeny(w)
+	case kRecoverReq:
+		p.onRecoverReq(w)
 	}
 }
 

@@ -1,6 +1,8 @@
 package sam
 
 import (
+	"sort"
+
 	"samft/internal/codec"
 	"samft/internal/ft"
 	"samft/internal/netsim"
@@ -16,6 +18,7 @@ import (
 type restoreState struct {
 	priv       *ft.PrivateState
 	privSeq    int64
+	privBytes  []byte // packed form of priv, kept for re-replication
 	freshVotes map[int]bool
 	data       map[Name]*wire // best kRecoverData per name
 	done       bool
@@ -47,7 +50,10 @@ func (p *Proc) awaitRestore() (fresh bool, steps int64, snap []byte) {
 
 // ---- failure detection ----
 
-// handleTaskExit processes a PVM task-exit notification.
+// handleTaskExit processes a PVM task-exit notification. Notifications
+// may be duplicated (a chaotic network, or both the direct notification
+// and a relayed kFailed); all paths funnel into the idempotent
+// deadRanks/dispatchFailures machinery.
 func (p *Proc) handleTaskExit(dead netsim.TID) {
 	rank := -1
 	for r, tid := range p.ranks {
@@ -59,26 +65,75 @@ func (p *Proc) handleTaskExit(dead netsim.TID) {
 	if rank < 0 || rank == p.cfg.Rank {
 		return // stale incarnation or self: ignore
 	}
-	coord := ft.CoordinatorRank(rank)
-	if coord == p.cfg.Rank {
-		p.startRecovery(rank, dead)
-		return
-	}
-	// Report to the distinguished process (paper step 1). The coordinator
-	// also receives its own notification; this covers delivery races.
-	p.send(coord, &wire{Kind: kFailed, Target: rank, Seq: int64(dead)})
+	p.deadRanks[rank] = dead
+	p.dispatchFailures()
 }
 
 func (p *Proc) onFailed(w *wire) {
-	if ft.CoordinatorRank(w.Target) != p.cfg.Rank {
+	rank := w.Target
+	if rank < 0 || rank >= p.cfg.N || rank == p.cfg.Rank {
 		return
 	}
-	p.startRecovery(w.Target, netsim.TID(w.Seq))
+	dead := netsim.TID(w.Seq)
+	if p.ranks[rank] != dead {
+		return // stale report: the table already moved past that incarnation
+	}
+	p.deadRanks[rank] = dead
+	p.dispatchFailures()
 }
 
-// startRecovery runs on the coordinator: restart the failed rank and tell
+// liveCoordinator picks the recovery coordinator for a failed rank: the
+// lowest rank not known dead (and not the failed rank itself). This
+// generalizes the paper's distinguished-process rule to overlapping
+// failures: when the coordinator itself dies, the next rank in line
+// observes both deaths and takes over. Different processes may briefly
+// disagree (failure knowledge is local), which is safe because restarts
+// are idempotent in the harness (keyed on the dead incarnation's tid).
+func (p *Proc) liveCoordinator(failed int) int {
+	for r := 0; r < p.cfg.N; r++ {
+		if r == failed {
+			continue
+		}
+		if _, dead := p.deadRanks[r]; dead {
+			continue
+		}
+		return r
+	}
+	return p.cfg.Rank
+}
+
+// dispatchFailures drives recovery for every known-dead, not-yet-replaced
+// incarnation: start it here when this process is the (live) coordinator,
+// otherwise relay the report. Entries persist until the replacement
+// incarnation is installed, so discovering a coordinator's death later
+// re-dispatches the failures it was responsible for — the takeover path.
+func (p *Proc) dispatchFailures() {
+	ranks := make([]int, 0, len(p.deadRanks))
+	for r := range p.deadRanks {
+		ranks = append(ranks, r)
+	}
+	sort.Ints(ranks)
+	for _, rank := range ranks {
+		dead := p.deadRanks[rank]
+		coord := p.liveCoordinator(rank)
+		if coord == p.cfg.Rank {
+			p.startRecovery(rank, dead)
+			continue
+		}
+		k := failKey{rank: rank, tid: dead, coord: coord}
+		if p.relayedFail[k] {
+			continue
+		}
+		p.relayedFail[k] = true
+		p.send(coord, &wire{Kind: kFailed, Target: rank, Seq: int64(dead)})
+	}
+}
+
+// startRecovery runs on a coordinator: restart the failed rank and tell
 // everyone. Duplicate reports are filtered by comparing the dead tid with
 // the current rank table — once a restart happened the table moved on.
+// Competing coordinators (possible while failure knowledge differs) are
+// resolved by the harness: Respawn is idempotent per dead incarnation.
 func (p *Proc) startRecovery(rank int, dead netsim.TID) {
 	if p.ranks[rank] != dead {
 		return // already recovered (or the report is stale)
@@ -86,11 +141,10 @@ func (p *Proc) startRecovery(rank int, dead netsim.TID) {
 	if p.cfg.Respawn == nil {
 		return // harness does not support recovery (tests without it)
 	}
-	newTID := p.cfg.Respawn(rank)
+	newTID := p.cfg.Respawn(rank, dead)
 	if newTID == pvm.NoTID {
 		return // harness is shutting down
 	}
-	p.st.Recoveries.Add(1)
 	p.handleRecoveryLocal(rank, newTID)
 	for r := range p.ranks {
 		if r == p.cfg.Rank || r == rank {
@@ -104,19 +158,118 @@ func (p *Proc) onRecovery(w *wire) {
 	p.handleRecoveryLocal(w.Target, netsim.TID(w.NewTID))
 }
 
-// handleRecoveryLocal is each surviving process's part of §4.5: update the
-// rank table, then supply the new process with everything it needs.
-func (p *Proc) handleRecoveryLocal(rank int, newTID netsim.TID) {
-	if rank == p.cfg.Rank || p.ranks[rank] == newTID {
+// onRecoverReq handles a restarted process's own announcement: install
+// the incarnation if it is news, then (re)send our contribution. The
+// explicit request overrides the sent-once filter — the requester is
+// telling us it is still missing contributions, e.g. because an earlier
+// one went to a previous incarnation that died with it.
+func (p *Proc) onRecoverReq(w *wire) {
+	rank := w.Target
+	if rank < 0 || rank >= p.cfg.N || rank == p.cfg.Rank {
 		return
 	}
+	newTID := netsim.TID(w.NewTID)
+	if newTID < p.ranks[rank] {
+		return // stale incarnation announcing itself after its own death
+	}
+	if newTID > p.ranks[rank] {
+		p.installNewIncarnation(rank, newTID)
+	}
+	delete(p.contributedTo, rank)
+	p.contributeIfNeeded(rank)
+}
+
+// handleRecoveryLocal is each surviving process's part of §4.5: update the
+// rank table, then supply the new process with everything it needs. TIDs
+// increase monotonically, so ordering resolves races between competing
+// recovery broadcasts for the same rank.
+func (p *Proc) handleRecoveryLocal(rank int, newTID netsim.TID) {
+	if rank == p.cfg.Rank {
+		return
+	}
+	if newTID < p.ranks[rank] {
+		return // stale broadcast about an incarnation we already outlived
+	}
+	if newTID > p.ranks[rank] {
+		p.installNewIncarnation(rank, newTID)
+	}
+	p.contributeIfNeeded(rank)
+}
+
+// installNewIncarnation switches the rank table to a restarted process's
+// new tid and reconciles every piece of local state that referred to the
+// dead incarnation.
+func (p *Proc) installNewIncarnation(rank int, newTID netsim.TID) {
 	p.ranks[rank] = newTID
+	delete(p.deadRanks, rank)
 	p.task.Notify(newTID)
 
 	// Drop everything provisional from the failed process's uncommitted
 	// checkpoint: it recovers from its last *committed* state.
 	p.dropProvisionalFrom(rank)
 
+	// If this process is itself mid-recovery, the failed rank's
+	// contribution — including its kRecoverFin — may have been lost with
+	// it (sent to our current incarnation or never sent at all). Ask the
+	// replacement to contribute, re-deriving the fin quorum from the live
+	// incarnation set instead of waiting forever on a ghost.
+	if p.cfg.Recovering && (p.restore != nil || !p.orphansDecided) {
+		p.send(rank, &wire{Kind: kRecoverReq, Target: p.cfg.Rank, NewTID: int(p.task.TID())})
+	}
+
+	// Owner queries answered by nobody: if the home of a still-unresolved
+	// hint died (possibly with our query in its mailbox), ask its
+	// replacement once it is up.
+	if p.cfg.Recovering && p.orphansDecided {
+		for name := range p.orphanHints {
+			if p.home(name) == rank && !p.ownerConfirmed[name] {
+				p.sendOwnerQuery(name)
+			}
+		}
+		for name := range p.unconfirmedData {
+			if p.home(name) == rank && !p.ownerConfirmed[name] {
+				p.sendOwnerQuery(name)
+			}
+		}
+	}
+}
+
+// contributeIfNeeded sends this process's recovery contribution to a
+// restarted rank's current incarnation, at most once per incarnation. A
+// process still restoring its own state defers: its tables are empty
+// until checkRestoreComplete, and a premature kRecoverFin would assert a
+// contribution that never happened.
+func (p *Proc) contributeIfNeeded(rank int) {
+	cur := p.ranks[rank]
+	if p.contributedTo[rank] == cur {
+		return
+	}
+	if p.restore != nil {
+		p.pendingContrib[rank] = true
+		return
+	}
+	p.contributedTo[rank] = cur
+	delete(p.pendingContrib, rank)
+	p.contributeRecovery(rank)
+}
+
+// flushPendingContrib sends contributions deferred while this process's
+// own restore was in progress. Runs after checkRestoreComplete resumes
+// the application (either path).
+func (p *Proc) flushPendingContrib() {
+	ranks := make([]int, 0, len(p.pendingContrib))
+	for r := range p.pendingContrib {
+		ranks = append(ranks, r)
+	}
+	sort.Ints(ranks)
+	for _, r := range ranks {
+		p.contributeIfNeeded(r)
+	}
+}
+
+// contributeRecovery supplies a restarted process with everything this
+// survivor holds for it, ending with kRecoverFin.
+func (p *Proc) contributeRecovery(rank int) {
 	// Private state of the failed process.
 	if b, ok := p.privStore[rank]; ok {
 		p.send(rank, &wire{Kind: kRecoverPriv, Body: b, Seq: p.privStoreSeq[rank]})
@@ -165,6 +318,7 @@ func (p *Proc) handleRecoveryLocal(rank int, newTID netsim.TID) {
 					p.send(rank, &wire{
 						Kind: kCkptCopy, Name: uint64(o.name), Body: body,
 						Seq: o.ckptSeq, Meta: o.ckptMeta, HasMeta: true, Piece: -1,
+						Owner: p.cfg.Rank,
 					})
 				}
 			}
@@ -291,6 +445,7 @@ func (p *Proc) onRecoverPriv(w *wire) {
 		}
 		p.restore.priv = priv
 		p.restore.privSeq = w.Seq
+		p.restore.privBytes = w.Body
 	}
 	p.checkRestoreComplete()
 }
@@ -322,6 +477,12 @@ func (p *Proc) onRecoverData(w *wire) {
 // private state once (and only once) its ownership is confirmed.
 func (p *Proc) stashOrInstall(w *wire) {
 	name := Name(w.Name)
+	if p.recoverInstalled[name] {
+		// Already restored once this incarnation. The object may since
+		// have migrated away (isMain is false again), so a duplicate
+		// contribution must not re-install it.
+		return
+	}
 	if o := p.objs[name]; o != nil && o.isMain && o.created {
 		return
 	}
@@ -371,23 +532,36 @@ func (p *Proc) onRecoverFin(w *wire) {
 
 // decideOrphans resolves ownership of objects that were migrating around
 // this process's death and are absent from its private state. It runs
-// once, after every survivor's recovery contribution has arrived: if no
+// once, after every peer's recovery contribution has arrived: if no
 // live process claimed an object's main copy (via kDirReport / its own
 // operation), the most recent committed migration pointed here, so this
-// process owns it.
+// process owns it. The quorum is per rank, not per incarnation: when a
+// contributor dies before its kRecoverFin lands, installNewIncarnation
+// re-solicits from the replacement via kRecoverReq, so the fin set is
+// effectively re-derived from the live incarnation set.
 func (p *Proc) decideOrphans() {
 	if p.orphansDecided || len(p.finsGot) < p.cfg.N-1 {
 		return
 	}
 	p.orphansDecided = true
-	for name := range p.orphanHints {
-		if p.home(name) != p.cfg.Rank {
-			// An alive home is authoritative: it sends kOwnerReport when
-			// this process owns the object, so a hint alone proves
-			// nothing (it may predate later migrations).
+	names := make(map[Name]bool, len(p.orphanHints)+len(p.unconfirmedData))
+	for n := range p.orphanHints {
+		names[n] = true
+	}
+	for n := range p.unconfirmedData {
+		names[n] = true
+	}
+	for name := range names {
+		if o := p.objs[name]; o != nil && o.isMain && o.created {
 			continue
 		}
-		if o := p.objs[name]; o != nil && o.isMain && o.created {
+		if p.home(name) != p.cfg.Rank {
+			// The home arbitrates: a surviving home's directory is
+			// authoritative, and a home that was down alongside us has
+			// rebuilt its directory from every survivor's reports by the
+			// time it answers. It replies kOwnerReport (install) or
+			// kOwnerDeny (the hint predates a later migration; drop it).
+			p.sendOwnerQuery(name)
 			continue
 		}
 		if d, ok := p.dir[name]; ok && d.known && d.owner != p.cfg.Rank {
@@ -399,6 +573,54 @@ func (p *Proc) decideOrphans() {
 			p.installRecoveredMain(w, nil)
 		}
 	}
+	// Answer queries deferred while our own directory was being rebuilt.
+	qs := p.pendingOwnerQueries
+	p.pendingOwnerQueries = nil
+	for _, w := range qs {
+		p.onOwnerQuery(w)
+	}
+}
+
+// sendOwnerQuery asks an object's home whether the most recent committed
+// migration left the main copy here.
+func (p *Proc) sendOwnerQuery(name Name) {
+	ver := p.orphanHints[name]
+	if w := p.unconfirmedData[name]; w != nil && w.HasMeta && w.Meta.Version > ver {
+		ver = w.Meta.Version
+	}
+	p.send(p.home(name), &wire{Kind: kOwnerQuery, Name: uint64(name),
+		Meta: ft.ObjectMeta{Version: ver}, HasMeta: true})
+}
+
+// onOwnerQuery arbitrates an orphan-ownership claim. With up to Degree
+// simultaneous failures and Degree checkpoint-copy holders, at most one
+// dead rank can hold an object's committed main copy, so granting the
+// first otherwise-unclaimed query is sound.
+func (p *Proc) onOwnerQuery(w *wire) {
+	if p.cfg.Recovering && !p.orphansDecided {
+		// Our directory is still being rebuilt from survivors' reports;
+		// answering now could grant an object a live process owns.
+		p.pendingOwnerQueries = append(p.pendingOwnerQueries, w)
+		return
+	}
+	name := Name(w.Name)
+	d := p.dirEnt(name)
+	if d.known && d.owner != w.SrcRank {
+		p.send(w.SrcRank, &wire{Kind: kOwnerDeny, Name: w.Name})
+		return
+	}
+	// No live process claims the object: the most recent committed
+	// migration pointed at the querier, so it holds the main copy.
+	d.known = true
+	d.owner = w.SrcRank
+	p.send(w.SrcRank, &wire{Kind: kOwnerReport, Name: w.Name})
+	p.pumpAccumQueue(d)
+}
+
+func (p *Proc) onOwnerDeny(w *wire) {
+	name := Name(w.Name)
+	delete(p.unconfirmedData, name)
+	delete(p.orphanHints, name)
 }
 
 func (p *Proc) onDirReport(w *wire) {
@@ -440,6 +662,7 @@ func (p *Proc) checkRestoreComplete() {
 		rs.done = true
 		p.restore = nil
 		p.restorec <- restoreResult{fresh: true}
+		p.flushPendingContrib()
 		return
 	}
 	metaFor := make(map[Name]ft.ObjectMeta, len(rs.priv.Owned))
@@ -460,6 +683,9 @@ func (p *Proc) checkRestoreComplete() {
 	p.boundarySnap = priv.AppState
 	p.hasCheckpointed = true
 	p.lastPrivSeq = priv.Seq
+	// Retain the packed image: if a holder of our private-state copy fails
+	// before our next checkpoint, the re-replication path needs the bytes.
+	p.lastPrivBytes = rs.privBytes
 
 	for name, w := range rs.data {
 		if m, ok := metaFor[name]; ok {
@@ -474,6 +700,7 @@ func (p *Proc) checkRestoreComplete() {
 	rs.done = true
 	p.restore = nil
 	p.restorec <- restoreResult{fresh: false, steps: priv.StepsDone, snap: priv.AppState}
+	p.flushPendingContrib()
 }
 
 // installRecoveredMain re-creates the main copy of an object from a
@@ -481,6 +708,7 @@ func (p *Proc) checkRestoreComplete() {
 // private state; otherwise the copy's carried metadata applies.
 func (p *Proc) installRecoveredMain(w *wire, meta *ft.ObjectMeta) {
 	name := Name(w.Name)
+	p.recoverInstalled[name] = true
 	o := p.obj(name)
 	if o.isMain && o.created {
 		return

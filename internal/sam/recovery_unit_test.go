@@ -1,0 +1,416 @@
+package sam
+
+// White-box unit tests for the recovery protocol's hardened paths:
+// dropping provisional state from a failed checkpointer, orphan-ownership
+// arbitration under conflicting hints, and the install-at-most-once guard
+// that keeps re-solicited recovery contributions from forking an object
+// that has since migrated away.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"samft/internal/codec"
+	"samft/internal/ft"
+	"samft/internal/netsim"
+	"samft/internal/pvm"
+)
+
+// recoveryPayload is a codec-registered stand-in for object contents.
+type recoveryPayload struct {
+	X int64
+}
+
+func init() { codec.Register("sam.recoveryTestPayload", recoveryPayload{}) }
+
+func packPayload(t *testing.T, x int64) []byte {
+	t.Helper()
+	b, err := codec.Pack(&recoveryPayload{X: x})
+	if err != nil {
+		t.Fatalf("pack payload: %v", err)
+	}
+	return b
+}
+
+// testProc builds a Proc whose handlers the test drives directly (no Run
+// loop): N blocking tasks on a fresh machine, the Proc built over the
+// task at the given rank. Peer tasks double as message sinks.
+func testProc(t *testing.T, rank, n int, recovering bool) (*Proc, []*pvm.Task) {
+	t.Helper()
+	m := pvm.NewMachine(netsim.Config{})
+	block := make(chan struct{})
+	tasks := make([]*pvm.Task, n)
+	tids := make([]pvm.TID, n)
+	for i := 0; i < n; i++ {
+		tasks[i] = m.Spawn(fmt.Sprintf("t%d", i), func(*pvm.Task) { <-block })
+		tids[i] = tasks[i].TID()
+	}
+	t.Cleanup(func() {
+		close(block)
+		m.Halt()
+	})
+	p := NewProc(tasks[rank], Config{
+		Rank:       rank,
+		N:          n,
+		Ranks:      tids,
+		Policy:     ft.PolicySAM,
+		Degree:     2,
+		Recovering: recovering,
+	})
+	return p, tasks
+}
+
+// recvWire receives and decodes the next SAM protocol message at a task.
+func recvWire(t *testing.T, task *pvm.Task) *wire {
+	t.Helper()
+	type res struct {
+		w   *wire
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		msg, err := task.Recv(pvm.AnySrc, TagSAM)
+		if err != nil {
+			ch <- res{nil, err}
+			return
+		}
+		w, err := decodeWire(msg.Payload)
+		ch <- res{w, err}
+	}()
+	select {
+	case r := <-ch:
+		if r.err != nil {
+			t.Fatalf("recv wire: %v", r.err)
+		}
+		return r.w
+	case <-time.After(5 * time.Second):
+		t.Fatal("timed out waiting for a protocol message")
+		return nil
+	}
+}
+
+// nameHomedAt finds an object name whose home is the wanted rank.
+func nameHomedAt(t *testing.T, n, want int) Name {
+	t.Helper()
+	for a := 0; a < 64*n; a++ {
+		name := MkName(7, a, 0)
+		if ft.HomeRank(uint64(name), n) == want {
+			return name
+		}
+	}
+	t.Fatalf("no name homed at rank %d", want)
+	return 0
+}
+
+// TestDropProvisionalFromReissuesFetch covers the failure window where a
+// checkpointer dies after sending inactive data but before activating it:
+// the provisional state must be discarded and fetches that were satisfied
+// only by that data must be re-driven so the restored owner serves them
+// again.
+func TestDropProvisionalFromReissuesFetch(t *testing.T) {
+	const failed = 1
+	p, tasks := testProc(t, 0, 4, false)
+
+	// An inactive object with a parked application waiter, fetched from
+	// the failed rank; its home is a live third rank.
+	homeRank := 2
+	name := nameHomedAt(t, 4, homeRank)
+	o := p.obj(name)
+	o.state = stInactive
+	o.inactiveFrom = failed
+	o.data = &recoveryPayload{X: 9}
+	o.isMain = false
+	o.fetchOutstanding = true
+	o.reqKind = kValReq
+	o.waiters = []*cmd{{op: opUseValue, name: name}}
+
+	// A second inactive object with no waiters must be reverted without
+	// re-issuing anything.
+	quiet := nameHomedAt(t, 4, 3)
+	q := p.obj(quiet)
+	q.state = stInactive
+	q.inactiveFrom = failed
+	q.data = &recoveryPayload{X: 1}
+
+	// Staged private state and a pending checkpoint copy from the failed
+	// rank must both be discarded.
+	p.privStaging[failed] = &wire{Kind: kCkptPriv, SrcRank: failed}
+	cp := p.obj(nameHomedAt(t, 4, 0))
+	cp.pendingCopy = &wire{Kind: kCkptCopy, SrcRank: failed}
+
+	p.dropProvisionalFrom(failed)
+
+	if o.state != stAbsent || o.data != nil || o.isMain || o.created {
+		t.Errorf("inactive object not reverted: state=%v data=%v isMain=%v", o.state, o.data, o.isMain)
+	}
+	if q.state != stAbsent || q.data != nil {
+		t.Errorf("waiterless inactive object not reverted: state=%v", q.state)
+	}
+	if _, ok := p.privStaging[failed]; ok {
+		t.Error("staged private state from failed rank survived")
+	}
+	if cp.pendingCopy != nil {
+		t.Error("pending checkpoint copy from failed rank survived")
+	}
+
+	// The fetch for the waited-on object must be re-issued to its home.
+	w := recvWire(t, tasks[homeRank])
+	if w.Kind != kValReq || Name(w.Name) != name {
+		t.Fatalf("re-issued fetch = %s %s, want ValReq %s", kindName(w.Kind), Name(w.Name), name)
+	}
+	if w.SrcRank != 0 {
+		t.Fatalf("re-issued fetch SrcRank = %d, want 0", w.SrcRank)
+	}
+	// Exactly one message: the waiterless object must not fetch.
+	if tasks[homeRank].Probe(pvm.AnySrc, TagSAM) || tasks[3].Probe(pvm.AnySrc, TagSAM) {
+		t.Error("unexpected extra protocol message after dropProvisionalFrom")
+	}
+}
+
+// TestDropProvisionalFromReissuesLocalFetch covers the degenerate
+// placement where the dropped object's home is the dropping process
+// itself: the request is re-driven inline and parks in the directory.
+func TestDropProvisionalFromReissuesLocalFetch(t *testing.T) {
+	const failed = 2
+	p, _ := testProc(t, 0, 4, false)
+
+	name := nameHomedAt(t, 4, 0)
+	o := p.obj(name)
+	o.state = stInactive
+	o.inactiveFrom = failed
+	o.data = &recoveryPayload{X: 3}
+	o.fetchOutstanding = true
+	o.reqKind = kValReq
+	o.waiters = []*cmd{{op: opUseValue, name: name}}
+
+	p.dropProvisionalFrom(failed)
+
+	if o.state != stAbsent {
+		t.Fatalf("object state = %v, want stAbsent", o.state)
+	}
+	d := p.dirEnt(name)
+	if d.known {
+		t.Fatal("directory should not know an owner yet")
+	}
+	found := false
+	for _, r := range d.pendingFetch {
+		if r == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("local re-issued fetch not parked in directory: pendingFetch=%v", d.pendingFetch)
+	}
+}
+
+// TestDuplicateRecoveryDataDoesNotReinstall is the regression test for
+// the migration-fork bug: once recovery data for a name has been applied
+// this incarnation, a late duplicate contribution (a re-solicited
+// replacement survivor re-sends everything) must not re-install the main
+// copy — the object may have legitimately migrated away in between.
+func TestDuplicateRecoveryDataDoesNotReinstall(t *testing.T) {
+	p, _ := testProc(t, 0, 4, false)
+
+	name := nameHomedAt(t, 4, 2)
+	body := packPayload(t, 42)
+	p.ownerConfirmed[name] = true
+	p.stashOrInstall(&wire{Kind: kRecoverData, SrcRank: 1, Name: uint64(name), Body: body, Seq: 1})
+
+	o := p.obj(name)
+	if !o.isMain || !o.created {
+		t.Fatal("first recovery contribution did not install the main copy")
+	}
+
+	// The object migrates away: ownership leaves this process.
+	o.isMain = false
+	o.created = false
+	o.data = nil
+	o.state = stAbsent
+
+	// A duplicate contribution arrives long after (restore is complete,
+	// so onRecoverData routes it through stashOrInstall).
+	p.onRecoverData(&wire{Kind: kRecoverData, SrcRank: 3, Name: uint64(name), Body: body, Seq: 2})
+
+	if o.isMain || o.created || o.data != nil {
+		t.Error("duplicate recovery data re-installed a migrated-away main copy (fork)")
+	}
+	if _, ok := p.unconfirmedData[name]; ok {
+		t.Error("duplicate recovery data was stashed despite prior install")
+	}
+}
+
+// TestDecideOrphansConflictingHints drives the §4.5 orphan decision with
+// conflicting version-stamped owner hints and a late directory report
+// claiming a live owner: the recovering process must not install a main
+// copy (the object would fork), and an unclaimed self-homed orphan must
+// install exactly once.
+func TestDecideOrphansConflictingHints(t *testing.T) {
+	p, _ := testProc(t, 0, 4, true)
+	// Restore already completed; late arrivals go through stashOrInstall.
+	p.restore = nil
+
+	claimed := nameHomedAt(t, 4, 0)
+	orphan := MkName(7, int(uint64(claimed)>>24&0xffffff)+1000, 0)
+	for ft.HomeRank(uint64(orphan), 4) != 0 {
+		orphan = MkName(7, int(uint64(orphan)>>24&0xffffff)+1, 0)
+	}
+
+	// Conflicting hints for the claimed object: two previous holders saw
+	// migrations at different versions. The newest wins in the hint table.
+	p.onOwnerHint(&wire{Kind: kOwnerHint, SrcRank: 1, Name: uint64(claimed), Meta: ft.ObjectMeta{Version: 3}, HasMeta: true})
+	p.onOwnerHint(&wire{Kind: kOwnerHint, SrcRank: 2, Name: uint64(claimed), Meta: ft.ObjectMeta{Version: 5}, HasMeta: true})
+	if p.orphanHints[claimed] != 5 {
+		t.Fatalf("orphanHints = %d, want 5 (newest version wins)", p.orphanHints[claimed])
+	}
+	p.onRecoverData(&wire{Kind: kRecoverData, SrcRank: 1, Name: uint64(claimed), Body: packPayload(t, 1), Seq: 1})
+
+	// An unclaimed orphan, also stashed.
+	p.onOwnerHint(&wire{Kind: kOwnerHint, SrcRank: 3, Name: uint64(orphan), Meta: ft.ObjectMeta{Version: 2}, HasMeta: true})
+	p.onRecoverData(&wire{Kind: kRecoverData, SrcRank: 3, Name: uint64(orphan), Body: packPayload(t, 2), Seq: 1})
+
+	// A late directory report: rank 2 owns the claimed object (it fetched
+	// the main copy after our last checkpoint; the hints are stale).
+	p.onDirReport(&wire{Kind: kDirReport, SrcRank: 2, Name: uint64(claimed)})
+
+	// All survivor contributions complete.
+	for r := 1; r < 4; r++ {
+		p.onRecoverFin(&wire{Kind: kRecoverFin, SrcRank: r})
+	}
+	if !p.orphansDecided {
+		t.Fatal("orphan decision did not run after N-1 fins")
+	}
+
+	// The claimed object must never have been installed.
+	if o := p.objs[claimed]; o != nil && (o.isMain || o.created) {
+		t.Error("installed a main copy for an object a live process owns (fork)")
+	}
+	// The unclaimed self-homed orphan installs exactly once.
+	o := p.objs[orphan]
+	if o == nil || !o.isMain || !o.created {
+		t.Fatal("unclaimed self-homed orphan was not installed")
+	}
+	if !p.ownerConfirmed[orphan] {
+		t.Error("installed orphan not marked owner-confirmed")
+	}
+	if _, ok := p.unconfirmedData[orphan]; ok {
+		t.Error("installed orphan left in the unconfirmed stash")
+	}
+	d := p.dirEnt(orphan)
+	if !d.known || d.owner != 0 {
+		t.Errorf("directory for installed orphan = known=%v owner=%d, want self", d.known, d.owner)
+	}
+}
+
+// TestDecideOrphansQueriesRemoteHome checks the arbitration protocol for
+// orphans homed elsewhere: the recovering process queries the home with
+// its best version, a denial drops the claim, and a grant installs the
+// stashed data.
+func TestDecideOrphansQueriesRemoteHome(t *testing.T) {
+	p, tasks := testProc(t, 0, 4, true)
+	p.restore = nil
+
+	homeRank := 2
+	denied := nameHomedAt(t, 4, homeRank)
+	granted := MkName(9, 0, 0)
+	for ft.HomeRank(uint64(granted), 4) != homeRank {
+		granted = MkName(9, int(uint64(granted)>>24&0xffffff)+1, 0)
+	}
+
+	p.onOwnerHint(&wire{Kind: kOwnerHint, SrcRank: 1, Name: uint64(denied), Meta: ft.ObjectMeta{Version: 4}, HasMeta: true})
+	p.onRecoverData(&wire{Kind: kRecoverData, SrcRank: 1, Name: uint64(denied), Body: packPayload(t, 1), Seq: 1})
+	p.onRecoverData(&wire{Kind: kRecoverData, SrcRank: 3, Name: uint64(granted), Body: packPayload(t, 2), Seq: 1, Meta: ft.ObjectMeta{Name: uint64(granted), Version: 7}, HasMeta: true})
+
+	for r := 1; r < 4; r++ {
+		p.onRecoverFin(&wire{Kind: kRecoverFin, SrcRank: r})
+	}
+
+	// Both names must have been queried at the home, carrying the best
+	// known version for each.
+	got := map[Name]int64{}
+	for i := 0; i < 2; i++ {
+		w := recvWire(t, tasks[homeRank])
+		if w.Kind != kOwnerQuery {
+			t.Fatalf("message %d = %s, want OwnerQuery", i, kindName(w.Kind))
+		}
+		got[Name(w.Name)] = w.Meta.Version
+	}
+	if got[denied] != 4 || got[granted] != 7 {
+		t.Fatalf("query versions = %v, want {%s:4 %s:7}", got, denied, granted)
+	}
+
+	// The home denies one claim and grants the other.
+	p.onOwnerDeny(&wire{Kind: kOwnerDeny, SrcRank: homeRank, Name: uint64(denied)})
+	if _, ok := p.unconfirmedData[denied]; ok {
+		t.Error("denied claim left stashed data behind")
+	}
+	if _, ok := p.orphanHints[denied]; ok {
+		t.Error("denied claim left its hint behind")
+	}
+	if o := p.objs[denied]; o != nil && o.isMain {
+		t.Error("denied claim installed a main copy")
+	}
+
+	p.onOwnerReport(&wire{Kind: kOwnerReport, SrcRank: homeRank, Name: uint64(granted)})
+	o := p.objs[granted]
+	if o == nil || !o.isMain || !o.created {
+		t.Fatal("granted claim did not install the stashed main copy")
+	}
+	if v, ok := o.data.(*recoveryPayload); !ok || v.X != 2 {
+		t.Errorf("installed contents = %#v, want payload 2", o.data)
+	}
+}
+
+// TestOwnerQueryDeferredAtRecoveringHome checks the other side of the
+// arbitration: a home that is itself recovering must not answer
+// orphan-ownership queries until its directory has been rebuilt from
+// every survivor's reports — answering early could grant an object a
+// live process owns.
+func TestOwnerQueryDeferredAtRecoveringHome(t *testing.T) {
+	p, tasks := testProc(t, 0, 4, true)
+	p.restore = nil
+
+	free := nameHomedAt(t, 4, 0)
+	taken := MkName(11, 0, 0)
+	for ft.HomeRank(uint64(taken), 4) != 0 {
+		taken = MkName(11, int(uint64(taken)>>24&0xffffff)+1, 0)
+	}
+
+	// Queries arrive from another recovering rank before our directory is
+	// rebuilt: they must be parked, not answered.
+	p.onOwnerQuery(&wire{Kind: kOwnerQuery, SrcRank: 3, Name: uint64(free), Meta: ft.ObjectMeta{Version: 1}, HasMeta: true})
+	p.onOwnerQuery(&wire{Kind: kOwnerQuery, SrcRank: 3, Name: uint64(taken), Meta: ft.ObjectMeta{Version: 1}, HasMeta: true})
+	if tasks[3].Probe(pvm.AnySrc, TagSAM) {
+		t.Fatal("recovering home answered an owner query before rebuilding its directory")
+	}
+	if len(p.pendingOwnerQueries) != 2 {
+		t.Fatalf("parked queries = %d, want 2", len(p.pendingOwnerQueries))
+	}
+
+	// Directory rebuild: a survivor reports it owns one of the names.
+	p.onDirReport(&wire{Kind: kDirReport, SrcRank: 1, Name: uint64(taken)})
+	for r := 1; r < 4; r++ {
+		p.onRecoverFin(&wire{Kind: kRecoverFin, SrcRank: r})
+	}
+
+	// Both deferred answers flush: a grant for the free name, a denial
+	// for the taken one.
+	replies := map[Name]int{}
+	for i := 0; i < 2; i++ {
+		w := recvWire(t, tasks[3])
+		replies[Name(w.Name)] = w.Kind
+	}
+	if replies[free] != kOwnerReport {
+		t.Errorf("free name reply = %s, want OwnerReport", kindName(replies[free]))
+	}
+	if replies[taken] != kOwnerDeny {
+		t.Errorf("taken name reply = %s, want OwnerDeny", kindName(replies[taken]))
+	}
+	d := p.dirEnt(free)
+	if !d.known || d.owner != 3 {
+		t.Errorf("granted name directory = known=%v owner=%d, want rank 3", d.known, d.owner)
+	}
+	if d := p.dirEnt(taken); d.owner != 1 {
+		t.Errorf("taken name directory owner = %d, want rank 1", d.owner)
+	}
+}

@@ -87,9 +87,12 @@ type Config struct {
 	// procedure: it waits for its private state instead of running Init.
 	Recovering bool
 	// Respawn is invoked on the recovery coordinator to restart a failed
-	// rank; it returns the new task's tid. Supplied by the cluster
-	// harness.
-	Respawn func(rank int) pvm.TID
+	// rank; dead names the incarnation being replaced so the harness can
+	// make the restart idempotent (if the rank was already restarted by a
+	// competing coordinator, the existing incarnation's tid is returned
+	// unchanged). Returns NoTID while the harness is shutting down.
+	// Supplied by the cluster harness.
+	Respawn func(rank int, dead pvm.TID) pvm.TID
 	// Trace, when non-nil, receives one line per protocol event. For
 	// debugging and tests.
 	Trace func(format string, args ...interface{})
