@@ -28,6 +28,7 @@ import (
 
 	"samft/internal/experiments"
 	"samft/internal/ft"
+	"samft/internal/trace"
 )
 
 func main() {
@@ -38,6 +39,7 @@ func main() {
 	chaosFlag := flag.Bool("chaos", false, "shorthand for -exp chaos")
 	seed := flag.Uint64("seed", 1, "chaos master seed (reproduces a sweep exactly)")
 	schedules := flag.Int("schedules", 20, "chaos kill schedules per application")
+	traceDir := flag.String("trace", "", "dump virtual-time traces (Chrome JSON + recovery report) under this directory")
 	flag.Parse()
 	if *chaosFlag {
 		*exp = "chaos"
@@ -67,11 +69,11 @@ func main() {
 	run("gps", func() error { return figure(experiments.GPS, scale, procs) })
 	run("water", func() error { return figure(experiments.Water, scale, procs) })
 	run("barnes", func() error { return figure(experiments.Barnes, scale, procs) })
-	run("recovery", func() error { return recovery(scale) })
+	run("recovery", func() error { return recovery(scale, *traceDir) })
 	// Chaos is not part of -exp all: it runs 3 x -schedules full cluster
 	// simulations and is a correctness sweep, not a figure regeneration.
 	if *exp == "chaos" {
-		if err := chaos(scale, *seed, *schedules); err != nil {
+		if err := chaos(scale, *seed, *schedules, *traceDir); err != nil {
 			fatal(fmt.Errorf("chaos: %w", err))
 		}
 	}
@@ -117,24 +119,46 @@ func figure(app experiments.AppKind, scale experiments.Scale, procs []int) error
 // result (E4): kill one of the processes mid-run for each application.
 // These cells run sequentially on purpose: RecoverySec is a wall-clock
 // measurement and must not share the machine with other simulations.
-func recovery(scale experiments.Scale) error {
+// With -trace, each killed run records its virtual-time timeline; the
+// phase-decomposed recovery report is printed and the Chrome trace dumped.
+func recovery(scale experiments.Scale, traceDir string) error {
 	fmt.Println("== Recovery (kill one process mid-run, E4) ==")
 	fmt.Printf("%-12s %8s %10s %14s %12s\n", "app", "procs", "killed", "recovery(s)", "answer-ok")
+	type traced struct {
+		app    experiments.AppKind
+		tracer *trace.Tracer
+	}
+	var tracers []traced
 	for _, app := range []experiments.AppKind{experiments.GPS, experiments.Water, experiments.Barnes} {
 		base, err := experiments.Run(experiments.Spec{App: app, N: 4, Policy: ft.PolicyOff, Scale: scale})
 		if err != nil {
 			return err
 		}
-		res, err := experiments.Run(experiments.Spec{
+		spec := experiments.Spec{
 			App: app, N: 4, Policy: ft.PolicySAM, Scale: scale,
 			Kills: []experiments.KillEvent{{Rank: 2, Step: 2}},
-		})
+		}
+		if traceDir != "" {
+			spec.Tracer = trace.New(0)
+			tracers = append(tracers, traced{app, spec.Tracer})
+		}
+		res, err := experiments.Run(spec)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("%-12s %8d %10s %14.3f %12v\n", app, 4, "rank 2", res.RecoverySec, res.Answer == base.Answer)
 	}
 	fmt.Println()
+	for _, t := range tracers {
+		dir := fmt.Sprintf("%s/recovery-%s", traceDir, t.app)
+		paths, err := trace.Dump(t.tracer, dir)
+		if err != nil {
+			return fmt.Errorf("trace dump %s: %w", dir, err)
+		}
+		fmt.Printf("-- %s recovery timeline (trace: %s) --\n", t.app, strings.Join(paths, ", "))
+		trace.AnalyzeRecovery(t.tracer).Fprint(os.Stdout)
+		fmt.Println()
+	}
 	return nil
 }
 
@@ -143,12 +167,12 @@ func recovery(scale experiments.Scale) error {
 // takeover, re-kills during recovery) with message jitter and exit-
 // notification drop/duplication, each verified bit-for-bit against the
 // fault-free answer and checked for post-run state invariants.
-func chaos(scale experiments.Scale, seed uint64, schedules int) error {
+func chaos(scale experiments.Scale, seed uint64, schedules int, traceDir string) error {
 	failed := 0
 	for _, app := range []experiments.AppKind{experiments.GPS, experiments.Water, experiments.Barnes} {
 		res, err := experiments.RunChaos(experiments.ChaosSpec{
 			App: app, Scale: scale, Seed: seed, Schedules: schedules,
-			Jitter: true, NotifyChaos: true,
+			Jitter: true, NotifyChaos: true, TraceDir: traceDir,
 		})
 		if err != nil {
 			return err

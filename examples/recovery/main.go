@@ -1,11 +1,14 @@
 // Demonstrates transparent recovery: a 4-workstation GPS run in which one
 // workstation is killed mid-computation. The run completes with the same
 // answer as a failure-free run; only the failed process was restarted.
+// The killed run records a virtual-time trace, and the demo ends with its
+// phase-decomposed recovery timeline.
 package main
 
 import (
 	"fmt"
 	"log"
+	"os"
 	"sync"
 	"time"
 
@@ -13,9 +16,10 @@ import (
 	"samft/internal/cluster"
 	"samft/internal/ft"
 	"samft/internal/sam"
+	"samft/internal/trace"
 )
 
-func run(kill bool) (best float64, recoveries int64) {
+func run(kill bool, tracer *trace.Tracer) (best float64, recoveries int64) {
 	params := gps.DefaultParams()
 	params.Population = 120
 	params.Generations = 6
@@ -27,6 +31,7 @@ func run(kill bool) (best float64, recoveries int64) {
 	cl = cluster.New(cluster.Config{
 		N:      n,
 		Policy: ft.PolicySAM,
+		Tracer: tracer,
 		AppFactory: func(rank int) sam.App {
 			a := gps.New(rank, n, params)
 			if rank == 0 {
@@ -68,13 +73,16 @@ func (k *killer) Step(p *sam.Proc, step int64) bool {
 }
 
 func main() {
-	clean, _ := run(false)
+	clean, _ := run(false, nil)
 	fmt.Printf("failure-free best RMS error: %.4f\n", clean)
-	killed, recoveries := run(true)
+	tracer := trace.New(0)
+	killed, recoveries := run(true, tracer)
 	fmt.Printf("with mid-run kill:           %.4f (recoveries: %d)\n", killed, recoveries)
 	if clean == killed {
 		fmt.Println("identical results: recovery was transparent")
 	} else {
 		fmt.Println("MISMATCH: recovery changed the answer")
 	}
+	fmt.Println("\nwhat recovery spent its time on (virtual-time trace):")
+	trace.AnalyzeRecovery(tracer).Fprint(os.Stdout)
 }

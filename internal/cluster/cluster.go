@@ -15,6 +15,7 @@ import (
 	"samft/internal/pvm"
 	"samft/internal/sam"
 	"samft/internal/stats"
+	"samft/internal/trace"
 )
 
 // Config describes one cluster run.
@@ -46,6 +47,9 @@ type Config struct {
 	// (jitter, notification drop/duplication, scheduled kills) to the
 	// simulated network.
 	Chaos *netsim.FaultPlan
+	// Tracer, when non-nil, records every layer's events into one
+	// virtual-time track per process incarnation (see internal/trace).
+	Tracer *trace.Tracer
 }
 
 // Cluster is a running (or runnable) simulated cluster.
@@ -78,7 +82,7 @@ func New(cfg Config) *Cluster {
 	if cfg.Chaos != nil && cfg.Chaos.NotifyTag == 0 {
 		cfg.Chaos.NotifyTag = pvm.TagTaskExit
 	}
-	netCfg := netsim.Config{Cost: cfg.Cost, Chaos: cfg.Chaos}
+	netCfg := netsim.Config{Cost: cfg.Cost, Chaos: cfg.Chaos, Trace: cfg.Tracer}
 	c := &Cluster{
 		cfg:      cfg,
 		machine:  pvm.NewMachine(netCfg),
@@ -114,7 +118,7 @@ func (c *Cluster) spawn(rank int, recovering bool) *pvm.Task {
 	if recovering {
 		name += "-r"
 	}
-	return c.machine.Spawn(name, func(t *pvm.Task) {
+	task := c.machine.Spawn(name, func(t *pvm.Task) {
 		<-c.started
 		c.mu.Lock()
 		ranks := append([]pvm.TID(nil), c.tids...)
@@ -144,9 +148,19 @@ func (c *Cluster) spawn(rank int, recovering bool) *pvm.Task {
 			c.mu.Lock()
 			c.appDone[rank] = true
 			c.mu.Unlock()
+			if ctl := c.cfg.Tracer.Control(); ctl != nil {
+				ctl.Emit(trace.Event{
+					Kind: trace.ClusterFinished, Rank: rank,
+					VirtUS: t.ClockUS(), Src: int64(t.TID()),
+				})
+			}
 			c.finishCh <- rank
 		}
 	})
+	if c.cfg.Tracer != nil {
+		c.cfg.Tracer.Label(int64(task.TID()), name, rank)
+	}
+	return task
 }
 
 // respawn restarts a failed rank on behalf of the recovery coordinator
@@ -199,7 +213,22 @@ func (c *Cluster) Kill(rank int) bool {
 	if tid == pvm.NoTID {
 		return false
 	}
-	return c.machine.Kill(tid)
+	// Read the victim's clock before the kill: Lookup refuses dead
+	// endpoints afterwards.
+	var clockUS float64
+	if ep := c.machine.Network().Lookup(tid); ep != nil {
+		clockUS = ep.ClockUS()
+	}
+	killed := c.machine.Kill(tid)
+	if killed {
+		if ctl := c.cfg.Tracer.Control(); ctl != nil {
+			ctl.Emit(trace.Event{
+				Kind: trace.ClusterKill, Rank: rank, VirtUS: clockUS,
+				Aux: int64(tid),
+			})
+		}
+	}
+	return killed
 }
 
 // WaitFinished blocks until every rank's application has completed

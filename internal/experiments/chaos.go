@@ -4,10 +4,13 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"os"
+	"path/filepath"
 	"sort"
 
 	"samft/internal/ft"
 	"samft/internal/sam"
+	"samft/internal/trace"
 	"samft/internal/xrand"
 )
 
@@ -35,7 +38,17 @@ type ChaosSpec struct {
 	// duplicates exit notifications.
 	Jitter      bool
 	NotifyChaos bool
+	// TraceDir, when set, dumps every schedule's virtual-time trace under
+	// it (one subdirectory per schedule). Failing schedules are dumped
+	// even when TraceDir is empty, to DefaultTraceDir (or the
+	// SAMFT_TRACE_DIR environment variable), so every red seed comes with
+	// its timeline.
+	TraceDir string
 }
+
+// DefaultTraceDir receives failing chaos schedules' auto-dumped traces
+// when no explicit TraceDir is configured and SAMFT_TRACE_DIR is unset.
+const DefaultTraceDir = "chaos-traces"
 
 func (s *ChaosSpec) fill() {
 	if s.N <= 0 {
@@ -63,6 +76,9 @@ type ChaosSchedule struct {
 	// Problems lists everything wrong with this schedule's run: an answer
 	// mismatch vs. the fault-free baseline, invariant violations, errors.
 	Problems []string
+	// TraceDir is where this schedule's trace was dumped ("" if it was
+	// not), with trace.json (Perfetto loadable) and recovery.txt inside.
+	TraceDir string
 }
 
 // ChaosResult is one application's sweep outcome.
@@ -139,6 +155,7 @@ func RunChaos(spec ChaosSpec) (ChaosResult, error) {
 
 	specs := make([]Spec, spec.Schedules)
 	schedules := make([][]KillEvent, spec.Schedules)
+	tracers := make([]*trace.Tracer, spec.Schedules)
 	for i := range specs {
 		schedules[i] = chaosSchedule(spec, i)
 		s := base
@@ -150,6 +167,10 @@ func RunChaos(spec ChaosSpec) (ChaosResult, error) {
 		}
 		s.NotifyDrop = spec.NotifyChaos
 		s.NotifyDup = spec.NotifyChaos
+		// Every schedule records its timeline so a failure can be dumped
+		// post-hoc; the ring buffers bound the cost on long runs.
+		tracers[i] = trace.New(0)
+		s.Tracer = tracers[i]
 		specs[i] = s
 	}
 
@@ -168,9 +189,27 @@ func RunChaos(spec ChaosSpec) (ChaosResult, error) {
 		if len(sched.Problems) > 0 {
 			out.Failed++
 		}
+		if len(sched.Problems) > 0 || spec.TraceDir != "" {
+			dir := filepath.Join(chaosTraceRoot(spec), fmt.Sprintf("%s-seed%d-schedule%02d", spec.App, spec.Seed, i))
+			if _, derr := trace.Dump(tracers[i], dir); derr == nil {
+				sched.TraceDir = dir
+			}
+		}
 		out.Schedules = append(out.Schedules, sched)
 	}
 	return out, nil
+}
+
+// chaosTraceRoot resolves where schedule traces land: the spec's explicit
+// TraceDir, else SAMFT_TRACE_DIR, else DefaultTraceDir (failures only).
+func chaosTraceRoot(spec ChaosSpec) string {
+	if spec.TraceDir != "" {
+		return spec.TraceDir
+	}
+	if d := os.Getenv("SAMFT_TRACE_DIR"); d != "" {
+		return d
+	}
+	return DefaultTraceDir
 }
 
 // CheckInvariants validates the paper's end-state guarantees over a
@@ -260,6 +299,9 @@ func (r ChaosResult) Print(w io.Writer) {
 			s.Index, status, len(s.Kills), s.Result.KillsApplied, formatKills(s.Kills))
 		for _, p := range s.Problems {
 			fmt.Fprintf(w, "       %s\n", p)
+		}
+		if s.TraceDir != "" {
+			fmt.Fprintf(w, "       trace: %s\n", s.TraceDir)
 		}
 	}
 	fmt.Fprintf(w, "failed: %d/%d\n", r.Failed, len(r.Schedules))

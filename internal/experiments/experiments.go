@@ -21,6 +21,7 @@ import (
 	"samft/internal/pvm"
 	"samft/internal/sam"
 	"samft/internal/stats"
+	"samft/internal/trace"
 )
 
 // AppKind selects one of the paper's three applications.
@@ -98,6 +99,9 @@ type Spec struct {
 	Seed uint64
 	// NoSnapCache disables the sam-layer snapshot cache (ablation).
 	NoSnapCache bool
+	// Tracer, when non-nil, records the run's virtual-time event timeline
+	// (see internal/trace); analyze it after Run returns.
+	Tracer *trace.Tracer
 }
 
 // Result is one run's outcome.
@@ -301,6 +305,7 @@ func Run(spec Spec) (Result, error) {
 		NoSnapCache: spec.NoSnapCache,
 		AppFactory:  factory,
 		Chaos:       chaos,
+		Tracer:      spec.Tracer,
 		OnRespawn: func(rank int, _ pvm.TID) {
 			for i := range spec.Kills {
 				ev := spec.Kills[i]
@@ -411,33 +416,34 @@ func RunFigure(app AppKind, scale Scale, procs []int) (Figure, error) {
 }
 
 // Print renders a figure in the paper's layout: speedup curves side by
-// side and the statistics rows underneath.
+// side and the statistics rows underneath, via the shared stats.Table
+// formatter.
 func (f Figure) Print(w io.Writer) {
 	fmt.Fprintf(w, "== %s (scale=%v): speedup, no-FT vs FT ==\n", f.App, scaleName(f.Scale))
-	fmt.Fprintf(w, "%6s %12s %9s %12s %9s %8s\n", "procs", "T(noFT) s", "speedup", "T(FT) s", "speedup", "ovhd %")
+	curves := stats.NewTable("procs", "T(noFT) s", "speedup", "T(FT) s", "speedup", "ovhd %")
 	for i := range f.NoFT {
 		a, b := f.NoFT[i], f.WithFT[i]
 		ovhd := 0.0
 		if a.ModeledSec > 0 {
 			ovhd = 100 * (b.ModeledSec - a.ModeledSec) / a.ModeledSec
 		}
-		fmt.Fprintf(w, "%6d %12.4f %9.2f %12.4f %9.2f %8.2f\n",
-			a.Procs, a.ModeledSec, a.Speedup, b.ModeledSec, b.Speedup, ovhd)
+		curves.Row(a.Procs, a.ModeledSec, fmt.Sprintf("%.2f", a.Speedup),
+			b.ModeledSec, fmt.Sprintf("%.2f", b.Speedup), fmt.Sprintf("%.2f", ovhd))
 	}
+	curves.Fprint(w)
 	fmt.Fprintln(w, "-- FT statistics (paper table rows) --")
-	fmt.Fprintf(w, "%6s %14s %12s %14s %14s %10s %10s\n",
-		"procs", "ckpts/proc/s", "sends-ckpt%", "force-msgs/ps", "forced/proc/s", "miss%noFT", "miss%FT")
+	tbl := stats.NewTable("procs", "ckpts/proc/s", "sends-ckpt%", "force-msgs/ps", "forced/proc/s", "miss%noFT", "miss%FT")
 	for i := range f.WithFT {
 		a, b := f.NoFT[i], f.WithFT[i]
-		fmt.Fprintf(w, "%6d %14.3f %12.2f %14.4f %14.4f %10.2f %10.2f\n",
-			b.Procs,
-			b.Report.CheckpointsPerProcPerSec(),
-			b.Report.PctSendsCausingCheckpoint(),
+		tbl.Row(b.Procs,
+			fmt.Sprintf("%.3f", b.Report.CheckpointsPerProcPerSec()),
+			fmt.Sprintf("%.2f", b.Report.PctSendsCausingCheckpoint()),
 			b.Report.ForceCkptMsgsPerProcPerSec(),
 			b.Report.ForcedCkptsPerProcPerSec(),
-			a.Report.MissRatePct(),
-			b.Report.MissRatePct())
+			fmt.Sprintf("%.2f", a.Report.MissRatePct()),
+			fmt.Sprintf("%.2f", b.Report.MissRatePct()))
 	}
+	tbl.Fprint(w)
 }
 
 func scaleName(s Scale) string {

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"samft/internal/ft"
+	"samft/internal/trace"
+)
+
+// TestTracedKilledRun drives a real cluster run with a mid-run kill and
+// checks the acceptance criteria for the tracing subsystem end to end:
+// the recovery window decomposes into named phases covering (well over)
+// 95% of it, and the Chrome export is valid JSON with per-process tracks
+// and matched flow events.
+func TestTracedKilledRun(t *testing.T) {
+	tr := trace.New(0)
+	res, err := Run(Spec{
+		App: GPS, N: 4, Policy: ft.PolicySAM, Scale: Small,
+		Kills:  []KillEvent{{Rank: 2, Step: 2}},
+		Tracer: tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.KillsApplied != 1 {
+		t.Fatalf("kills applied = %d", res.KillsApplied)
+	}
+
+	rep := trace.AnalyzeRecovery(tr)
+	if len(rep.Incarnations) != 1 {
+		t.Fatalf("incarnations = %d", len(rep.Incarnations))
+	}
+	inc := rep.Incarnations[0]
+	if !inc.Complete {
+		t.Fatalf("recovery incomplete: %+v", inc)
+	}
+	if inc.Rank != 2 {
+		t.Fatalf("recovered rank = %d", inc.Rank)
+	}
+	if inc.WindowUS() <= 0 {
+		t.Fatalf("empty recovery window: %+v", inc)
+	}
+	if frac := inc.AttributedFraction(); frac < 0.95 {
+		t.Fatalf("attributed fraction %.3f < 0.95", frac)
+	}
+	var msgs int
+	for _, p := range inc.Phases {
+		msgs += p.Msgs
+	}
+	if msgs == 0 {
+		t.Fatal("no received messages attributed to any recovery phase")
+	}
+
+	var buf bytes.Buffer
+	if err := trace.WriteChrome(tr, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string                 `json:"name"`
+			Ph   string                 `json:"ph"`
+			ID   int64                  `json:"id"`
+			Args map[string]interface{} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome export is not valid JSON: %v", err)
+	}
+	tracks := map[string]bool{}
+	starts := map[int64]bool{}
+	matched, flowEnds, phases := 0, 0, 0
+	for _, e := range doc.TraceEvents {
+		switch {
+		case e.Ph == "M" && e.Name == "process_name":
+			tracks[e.Args["name"].(string)] = true
+		case e.Ph == "s":
+			starts[e.ID] = true
+		case e.Ph == "f":
+			flowEnds++
+			if starts[e.ID] {
+				matched++
+			}
+		case e.Ph == "X" && strings.HasPrefix(e.Name, "recovery:"):
+			phases++
+		}
+	}
+	for _, want := range []string{"rank0", "rank1", "rank2", "rank3", "rank2-r"} {
+		if !tracks[want] {
+			t.Fatalf("missing process track %q (have %v)", want, tracks)
+		}
+	}
+	if flowEnds == 0 || matched != flowEnds {
+		t.Fatalf("flow events: %d ends, %d matched to a start", flowEnds, matched)
+	}
+	if phases == 0 {
+		t.Fatal("no recovery phase slices in chrome export")
+	}
+}
+
+// TestUntracedRunHasNoTracer makes sure a Spec without a Tracer runs with
+// tracing fully disabled (the nil fast path) and still completes.
+func TestUntracedRunHasNoTracer(t *testing.T) {
+	res, err := Run(Spec{App: GPS, N: 2, Policy: ft.PolicySAM, Scale: Small})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Answer == 0 {
+		t.Fatal("no answer")
+	}
+}

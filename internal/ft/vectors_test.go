@@ -173,6 +173,102 @@ func TestSnapshotRestore(t *testing.T) {
 	}
 }
 
+func TestMergeAfterIncarnationBump(t *testing.T) {
+	// A recovered incarnation restores its vectors from its last private-
+	// state checkpoint — older than what the survivors have since seen —
+	// and must catch up purely by absorbing their piggybacks, without ever
+	// lowering an entry or touching its own slot.
+	p0 := NewClocks(0, 3)
+	p1 := NewClocks(1, 3)
+
+	p0.Tick()
+	p0.OnCheckpoint() // t=2; this is what recovery will restore
+	tt, cc, dd := p0.Snapshot()
+
+	// Pre-crash, p0 runs further and the cluster moves on without it.
+	p0.Tick()
+	for i := 0; i < 6; i++ {
+		p1.Tick()
+	}
+	p1.OnCheckpoint()
+
+	// Crash + restore: the new incarnation resumes at the checkpointed
+	// time, which is behind both its own pre-crash time and p1's view.
+	r := NewClocks(0, 3)
+	r.Restore(tt, cc, dd)
+	if r.Now() != 2 {
+		t.Fatalf("restored time %d, want 2", r.Now())
+	}
+
+	// First post-recovery message from p1 carries p1's whole history. The
+	// bump to p1's entries must be monotone and the self entry untouched:
+	// only replay, not merging, may advance the incarnation's own clock.
+	r.Absorb(p1.StampFor(0))
+	if r.T[1] != 7 {
+		t.Fatalf("r.T[1] = %d, want 7", r.T[1])
+	}
+	if r.Now() != 2 {
+		t.Fatalf("merge advanced own time to %d", r.Now())
+	}
+	if r.D[1] != 0 {
+		// p1 never saw p0 before the crash, so its checkpoint cannot promise
+		// coverage of any p0 time: the stamp's c_{1,0} is 0.
+		t.Fatalf("r.D[1] = %d, want 0", r.D[1])
+	}
+
+	// A delayed pre-crash stamp (older T) arriving after the catch-up must
+	// be a no-op, not a rollback.
+	r.Absorb(Stamp{From: 1, T: []int64{0, 3, 0}, CForDst: 0})
+	if r.T[1] != 7 {
+		t.Fatalf("stale stamp lowered T[1] to %d", r.T[1])
+	}
+}
+
+func TestPiggybackOntoNeverCommunicatedProcess(t *testing.T) {
+	// p2 has never exchanged a message with p0: every p0 entry about p2 is
+	// still zero. The very first stamp must establish state from nothing,
+	// and until it arrives p2 is a laggard for any positive free time.
+	p0 := NewClocks(0, 3)
+	f := p0.Tick()
+
+	lag := p0.Laggards(f)
+	if len(lag) != 2 {
+		t.Fatalf("laggards before any communication = %v", lag)
+	}
+
+	// p2's first-ever message: it has ticked to 4, checkpointed, and its
+	// checkpoint saw nothing of p0 (c_{2,0} = 0).
+	p2 := NewClocks(2, 3)
+	for i := 0; i < 3; i++ {
+		p2.Tick()
+	}
+	p2.OnCheckpoint()
+	p0.Absorb(p2.StampFor(0))
+	if p0.T[2] != 4 {
+		t.Fatalf("p0.T[2] = %d, want 4", p0.T[2])
+	}
+	if p0.D[2] != 0 {
+		t.Fatalf("p0.D[2] = %d: a checkpoint that never saw p0 cannot cover its time", p0.D[2])
+	}
+	// p2 is still a laggard: its checkpoint predates learning p0's time f.
+	if lag := p0.Laggards(f); len(lag) != 2 {
+		t.Fatalf("laggards after first contact = %v", lag)
+	}
+
+	// Only after p2 checkpoints with knowledge of f does coverage arrive.
+	p2.Absorb(p0.StampFor(2))
+	p2.OnCheckpoint()
+	p0.Absorb(p2.StampFor(0))
+	if p0.D[2] < f {
+		t.Fatalf("p0.D[2] = %d after covered checkpoint, want >= %d", p0.D[2], f)
+	}
+	for _, j := range p0.Laggards(f) {
+		if j == 2 {
+			t.Fatal("p2 still a laggard after covered checkpoint")
+		}
+	}
+}
+
 func TestQuickAbsorbMonotone(t *testing.T) {
 	// Property: after absorbing any sequence of stamps, every T/D entry is
 	// >= its previous value and equals the max seen.

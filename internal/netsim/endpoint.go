@@ -2,6 +2,8 @@ package netsim
 
 import (
 	"sync"
+
+	"samft/internal/trace"
 )
 
 // Endpoint is one process's attachment to the network: a mailbox with
@@ -22,6 +24,10 @@ type Endpoint struct {
 	clockUS float64 // modeled local time, microseconds
 
 	stats EndpointStats
+
+	// rec is this endpoint's trace track; nil when tracing is disabled,
+	// making every instrumentation site a single-branch no-op.
+	rec *trace.Recorder
 }
 
 // EndpointStats counts traffic through an endpoint.
@@ -40,6 +46,11 @@ func newEndpoint(n *Network, tid TID) *Endpoint {
 
 // TID returns the endpoint's task id.
 func (e *Endpoint) TID() TID { return e.tid }
+
+// TraceRecorder returns the endpoint's trace track (nil when tracing is
+// disabled). Higher layers use it to emit their own events onto the same
+// per-process timeline the network writes to.
+func (e *Endpoint) TraceRecorder() *trace.Recorder { return e.rec }
 
 // Network returns the owning network.
 func (e *Endpoint) Network() *Network { return e.net }
@@ -128,8 +139,10 @@ func (e *Endpoint) Send(dst TID, tag int, payload []byte) error {
 	// and this send may push a message-count or modeled-time kill trigger
 	// past its threshold. Triggers fire before delivery, so a kill
 	// scheduled "at message N" can swallow message N itself.
+	var jitter float64
 	if c := e.net.chaos; c != nil {
-		jitter, due := c.onSend(senderClock)
+		var due []KillTrigger
+		jitter, due = c.onSend(senderClock)
 		arrival += jitter
 		if len(due) > 0 {
 			e.net.fireTriggers(due)
@@ -137,26 +150,52 @@ func (e *Endpoint) Send(dst TID, tag int, payload []byte) error {
 		e.net.CheckClockTriggers()
 	}
 
+	var msgID int64
+	if e.rec != nil {
+		msgID = e.net.msgID.Add(1)
+		e.rec.Emit(trace.Event{
+			Kind: trace.NetSend, VirtUS: senderClock, Rank: -1,
+			Src: int64(e.tid), Dst: int64(dst), Tag: tag,
+			Bytes: len(payload), MsgID: msgID, ExtraUS: jitter,
+		})
+	}
+
 	e.net.mu.Lock()
 	target, known := e.net.endpoints[dst]
 	e.net.mu.Unlock()
 	if !known {
+		if e.rec != nil {
+			e.rec.Emit(trace.Event{
+				Kind: trace.NetDrop, VirtUS: senderClock, Rank: -1,
+				Src: int64(e.tid), Dst: int64(dst), Tag: tag,
+				Bytes: len(payload), MsgID: msgID, Note: "unknown",
+			})
+		}
 		return ErrUnknownDest
 	}
 	// deliver is a no-op on a dead endpoint: the message vanishes.
-	target.deliver(&Message{Src: e.tid, Dst: dst, Tag: tag, Payload: payload, ArrivalUS: arrival})
+	if !target.deliver(&Message{Src: e.tid, Dst: dst, Tag: tag, ID: msgID, Payload: payload, ArrivalUS: arrival}) && e.rec != nil {
+		e.rec.Emit(trace.Event{
+			Kind: trace.NetDrop, VirtUS: senderClock, Rank: -1,
+			Src: int64(e.tid), Dst: int64(dst), Tag: tag,
+			Bytes: len(payload), MsgID: msgID, Note: "dead",
+		})
+	}
 	return nil
 }
 
-func (e *Endpoint) deliver(m *Message) {
+// deliver queues a message, reporting whether it was accepted (false on a
+// dead or closed endpoint, where the message vanishes).
+func (e *Endpoint) deliver(m *Message) bool {
 	e.mu.Lock()
 	if e.dead || e.closed {
 		e.mu.Unlock()
-		return
+		return false
 	}
 	e.queue = append(e.queue, m)
 	e.cond.Broadcast()
 	e.mu.Unlock()
+	return true
 }
 
 // deliverExit enqueues an exit notification, reporting whether it was
@@ -174,6 +213,12 @@ func (e *Endpoint) deliverExit(m *Message) bool {
 	e.queue = append(e.queue, m)
 	e.cond.Broadcast()
 	e.mu.Unlock()
+	if e.rec != nil {
+		e.rec.Emit(trace.Event{
+			Kind: trace.NetExit, VirtUS: e.ClockUS(), Rank: -1,
+			Src: int64(m.Src), Dst: int64(e.tid), Tag: m.Tag,
+		})
+	}
 	return true
 }
 
@@ -199,6 +244,16 @@ func (e *Endpoint) take(i int) *Message {
 		e.clockUS = m.ArrivalUS
 	}
 	e.clockUS += e.net.cfg.Cost.RecvOverheadUS
+	if e.rec != nil {
+		// The recorder's mutex is a leaf lock, so emitting under e.mu is
+		// safe; it keeps the receive stamp consistent with the clock sync
+		// performed just above.
+		e.rec.Emit(trace.Event{
+			Kind: trace.NetRecv, VirtUS: e.clockUS, Rank: -1,
+			Src: int64(m.Src), Dst: int64(e.tid), Tag: m.Tag,
+			Bytes: len(m.Payload), MsgID: m.ID,
+		})
+	}
 	return m
 }
 

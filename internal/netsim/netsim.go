@@ -26,6 +26,9 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
+
+	"samft/internal/trace"
 )
 
 // Common errors returned by endpoint operations.
@@ -93,6 +96,10 @@ type Config struct {
 	// Chaos, when non-nil, attaches a seeded fault-injection plan (see
 	// FaultPlan) to the network.
 	Chaos *FaultPlan
+	// Trace, when non-nil, records every network event into one trace
+	// track per endpoint. A nil tracer disables tracing at the cost of a
+	// single branch per potential event.
+	Trace *trace.Tracer
 }
 
 // DefaultConfig returns a Config with the AN2 cost model.
@@ -106,6 +113,11 @@ type Message struct {
 	Src TID
 	Dst TID
 	Tag int
+	// ID is a network-unique message id assigned at send time when
+	// tracing is enabled (0 otherwise). The send and receive trace events
+	// of one message share it, which lets the timeline exporter draw
+	// send→delivery flow arrows.
+	ID int64
 	// Payload is the serialized body. Receivers must not retain references
 	// into a payload they hand to other goroutines; the codec layer always
 	// copies during unpack.
@@ -137,6 +149,11 @@ type Network struct {
 
 	// chaos is the fault-injection runtime, nil unless Config.Chaos was set.
 	chaos *chaosState
+
+	// tracer is the event recorder, nil unless Config.Trace was set.
+	tracer *trace.Tracer
+	// msgID hands out network-unique message ids for trace flow events.
+	msgID atomic.Int64
 }
 
 // New creates an empty network with the given configuration.
@@ -150,11 +167,15 @@ func New(cfg Config) *Network {
 		endpoints: make(map[TID]*Endpoint),
 		watchers:  make(map[TID]map[TID]bool),
 		chaos:     newChaosState(cfg.Chaos),
+		tracer:    cfg.Trace,
 	}
 }
 
 // Cost returns the network's cost model.
 func (n *Network) Cost() CostModel { return n.cfg.Cost }
+
+// Tracer returns the network's tracer (nil when tracing is disabled).
+func (n *Network) Tracer() *trace.Tracer { return n.tracer }
 
 // NewEndpoint allocates a live endpoint with a fresh TID.
 func (n *Network) NewEndpoint() *Endpoint {
@@ -165,6 +186,7 @@ func (n *Network) NewEndpoint() *Endpoint {
 	}
 	n.nextTID++
 	e := newEndpoint(n, n.nextTID)
+	e.rec = n.tracer.Track(int64(e.tid))
 	n.endpoints[e.tid] = e
 	return e
 }
@@ -235,6 +257,13 @@ func (n *Network) Kill(tid TID, notifyTag int) bool {
 	e.kill()
 	n.mu.Unlock()
 
+	if e.rec != nil {
+		e.rec.Emit(trace.Event{
+			Kind: trace.NetKill, VirtUS: e.ClockUS(),
+			Src: int64(tid), Aux: int64(tid), Rank: -1,
+		})
+	}
+
 	// Decide notification fates over watchers that are still alive: a
 	// registered watcher may itself have died (simultaneous failures), and
 	// counting it toward the "at least one notification survives" floor
@@ -253,6 +282,22 @@ func (n *Network) Kill(tid TID, notifyTag int) bool {
 	}
 	if n.chaos != nil && (n.chaos.plan.DropNotify || n.chaos.plan.DupNotify) {
 		fates = n.chaos.notifyFates(len(live))
+		if ctl := n.tracer.Control(); ctl != nil {
+			for i, w := range live {
+				switch fates[i] {
+				case 0:
+					ctl.Emit(trace.Event{
+						Kind: trace.NetNotifyDrop, VirtUS: e.ClockUS(),
+						Src: int64(tid), Dst: int64(w), Rank: -1,
+					})
+				case 2:
+					ctl.Emit(trace.Event{
+						Kind: trace.NetNotifyDup, VirtUS: e.ClockUS(),
+						Src: int64(tid), Dst: int64(w), Rank: -1,
+					})
+				}
+			}
+		}
 	}
 	exit := func(w TID) bool {
 		we := n.Lookup(w)

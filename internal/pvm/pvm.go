@@ -12,6 +12,7 @@ import (
 	"sync"
 
 	"samft/internal/netsim"
+	"samft/internal/trace"
 )
 
 // TID is a PVM task identifier.
@@ -76,6 +77,13 @@ func (m *Machine) Spawn(name string, body func(*Task)) *Task {
 	m.mu.Lock()
 	m.tasks[ep.TID()] = t
 	m.mu.Unlock()
+
+	if rec := ep.TraceRecorder(); rec != nil {
+		rec.Emit(trace.Event{
+			Kind: trace.PvmSpawn, VirtUS: ep.ClockUS(), Rank: -1,
+			Src: int64(ep.TID()), Note: name,
+		})
+	}
 
 	go t.run(body)
 	return t
@@ -180,6 +188,12 @@ func (t *Task) Probe(src TID, tag int) bool {
 
 // Notify asks for a TagTaskExit message when target dies (pvm_notify).
 func (t *Task) Notify(target TID) {
+	if rec := t.ep.TraceRecorder(); rec != nil {
+		rec.Emit(trace.Event{
+			Kind: trace.PvmNotify, VirtUS: t.ep.ClockUS(), Rank: -1,
+			Src: int64(t.TID()), Dst: int64(target),
+		})
+	}
 	t.machine.net.Notify(t.TID(), target, TagTaskExit)
 }
 

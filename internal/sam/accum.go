@@ -5,6 +5,7 @@ import (
 
 	"samft/internal/codec"
 	"samft/internal/ft"
+	"samft/internal/trace"
 )
 
 // Accumulators migrate between processes under mutual exclusion. The home
@@ -254,6 +255,9 @@ func (p *Proc) completeMigration(o *object, target int, inactive bool, seq int64
 	if inactive {
 		p.st.CkptCausingSends.Add(1)
 	}
+	if p.rec != nil {
+		p.emit(trace.Event{Kind: trace.SamMigrateOut, Name: uint64(o.name), Dst: int64(target), Bytes: len(body)})
+	}
 	p.send(target, &wire{Kind: kAccData, Name: uint64(o.name), Body: body, Inactive: inactive, Seq: seq, Target: target, Meta: o.meta(), HasMeta: true})
 	// The local entry becomes a stale cached version for chaotic reads;
 	// record the successor so stale grants can be re-routed.
@@ -337,6 +341,9 @@ func (p *Proc) onAccData(w *wire) {
 	o.dirty = true
 	o.dirtySeq++
 	o.invalidatePackCache()
+	if p.rec != nil {
+		p.emit(trace.Event{Kind: trace.SamMigrateIn, Name: w.Name, Src: int64(w.SrcRank), Bytes: len(w.Body)})
+	}
 	if w.HasMeta && w.Meta.Version > o.version {
 		o.version = w.Meta.Version
 	}

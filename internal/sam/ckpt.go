@@ -5,6 +5,7 @@ import (
 
 	"samft/internal/codec"
 	"samft/internal/ft"
+	"samft/internal/trace"
 )
 
 // This file implements §4.3–§4.4 of the paper: the checkpoint transaction
@@ -75,6 +76,9 @@ func (p *Proc) packObject(o *object) []byte {
 	if !p.cfg.NoSnapCache && o.packCache != nil && o.packCacheSeq == o.dirtySeq {
 		p.st.SnapCacheHits.Add(1)
 		p.st.SnapCacheBytesSaved.Add(int64(len(o.packCache)))
+		if p.rec != nil {
+			p.emit(trace.Event{Kind: trace.SamSnapHit, Name: uint64(o.name), Bytes: len(o.packCache)})
+		}
 		return o.packCache
 	}
 	b, err := codec.Pack(o.data)
@@ -83,6 +87,9 @@ func (p *Proc) packObject(o *object) []byte {
 	}
 	p.task.Charge(float64(len(b)) / packBytesPerUS)
 	p.st.SnapCacheMisses.Add(1)
+	if p.rec != nil {
+		p.emit(trace.Event{Kind: trace.SamSnapMiss, Name: uint64(o.name), Bytes: len(b)})
+	}
 	if !p.cfg.NoSnapCache {
 		o.packCache = b
 		o.packCacheSeq = o.dirtySeq
@@ -127,6 +134,13 @@ func (p *Proc) startTx() {
 	}
 	p.pendingForced = false
 	p.tx = tx
+	if p.rec != nil {
+		note := ""
+		if tx.forced {
+			note = "forced"
+		}
+		p.emit(trace.Event{Kind: trace.SamCkptBegin, Aux: seq, Note: note})
+	}
 
 	trigs := p.pendingTriggers
 	p.pendingTriggers = nil
@@ -318,6 +332,17 @@ func (p *Proc) commitTx() {
 	if tx.forced {
 		p.st.ForcedCheckpoints.Add(1)
 	}
+	if p.rec != nil {
+		note := ""
+		if tx.forced {
+			note = "forced"
+		}
+		t, c, d := p.clocks.Snapshot()
+		p.emit(trace.Event{
+			Kind: trace.SamCkptCommit, Aux: tx.seq, Note: note,
+			T: trace.CopyVec(t), C: trace.CopyVec(c), D: trace.CopyVec(d),
+		})
+	}
 
 	for name, seqAt := range tx.dirtyAt {
 		if o := p.objs[name]; o != nil && o.dirtySeq == seqAt {
@@ -393,6 +418,9 @@ func (p *Proc) markFreeable(o *object) {
 				continue
 			}
 			p.st.ForceCkptMsgsSent.Add(1)
+			if p.rec != nil {
+				p.emit(trace.Event{Kind: trace.SamForceSend, Dst: int64(j), Name: uint64(o.name), Aux: o.freeableAt})
+			}
 			p.send(j, &wire{Kind: kForceCkpt, Name: uint64(o.name), F: o.freeableAt})
 		}
 		o.forcedSent = true
@@ -442,6 +470,9 @@ func (p *Proc) forceOldestFrees() {
 		o.forcedSent = true
 		for _, j := range p.clocks.Laggards(o.freeableAt) {
 			p.st.ForceCkptMsgsSent.Add(1)
+			if p.rec != nil {
+				p.emit(trace.Event{Kind: trace.SamForceSend, Dst: int64(j), Name: uint64(name), Aux: o.freeableAt})
+			}
 			p.send(j, &wire{Kind: kForceCkpt, Name: uint64(name), F: o.freeableAt})
 		}
 		if !p.clocks.SelfCovered(o.freeableAt) {
@@ -602,9 +633,15 @@ func (p *Proc) onActivate(w *wire) {
 
 func (p *Proc) onForceCkpt(w *wire) {
 	if p.clocks.NeedsForcedCheckpoint(w.SrcRank, w.F) {
+		if p.rec != nil {
+			p.emit(trace.Event{Kind: trace.SamForceRecv, Src: int64(w.SrcRank), Name: w.Name, Aux: w.F, Note: "ckpt"})
+		}
 		p.forceReplies = append(p.forceReplies, forceReq{origin: w.SrcRank, name: Name(w.Name), f: w.F})
 		p.addForcedTrigger()
 		return
+	}
+	if p.rec != nil {
+		p.emit(trace.Event{Kind: trace.SamForceRecv, Src: int64(w.SrcRank), Name: w.Name, Aux: w.F, Note: "covered"})
 	}
 	p.send(w.SrcRank, &wire{Kind: kForceAck, Name: w.Name, F: w.F})
 }

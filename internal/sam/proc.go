@@ -10,6 +10,7 @@ import (
 	"samft/internal/netsim"
 	"samft/internal/pvm"
 	"samft/internal/stats"
+	"samft/internal/trace"
 )
 
 // Proc is one SAM process. The exported methods form the application API
@@ -19,6 +20,9 @@ type Proc struct {
 	cfg  Config
 	task *pvm.Task
 	st   *stats.Proc
+	// rec is this process's trace track (shared with its netsim endpoint);
+	// nil when tracing is disabled, making every emit site one branch.
+	rec *trace.Recorder
 
 	clocks *ft.Clocks
 	taint  *ft.Taint
@@ -129,6 +133,7 @@ func NewProc(task *pvm.Task, cfg Config) *Proc {
 		cfg:              cfg,
 		task:             task,
 		st:               cfg.Stats,
+		rec:              task.Endpoint().TraceRecorder(),
 		clocks:           ft.NewClocks(cfg.Rank, cfg.N),
 		taint:            ft.NewTaint(cfg.Policy),
 		cmdq:             make(chan *cmd),
@@ -219,8 +224,18 @@ func (p *Proc) Run(app App) (finished bool) {
 		p.gate(0, true) // initial checkpoint so recovery has a base state
 	}
 
+	replaying := p.cfg.Recovering
 	for step := start + 1; ; step++ {
-		if !app.Step(p, step) {
+		more := app.Step(p, step)
+		if replaying {
+			// The step that was in progress at the crash has now been
+			// re-executed: recovery proper is over.
+			if p.rec != nil {
+				p.emit(trace.Event{Kind: trace.SamRecDone, Aux: step})
+			}
+			replaying = false
+		}
+		if !more {
 			break
 		}
 		p.st.StepsExecuted.Add(1)
@@ -260,6 +275,9 @@ func (p *Proc) runtime() {
 	// the others, or when a survivor's earlier contribution went to a
 	// previous (also failed) incarnation.
 	if p.cfg.Recovering {
+		if p.rec != nil {
+			p.emit(trace.Event{Kind: trace.SamRecSolicit, Aux: int64(p.task.TID())})
+		}
 		for r := range p.ranks {
 			if r != p.cfg.Rank {
 				p.send(r, &wire{Kind: kRecoverReq, Target: p.cfg.Rank, NewTID: int(p.task.TID())})
@@ -327,6 +345,18 @@ func (p *Proc) handleMessage(m *netsim.Message) {
 	p.dispatch(w)
 }
 
+// emit records one event on this process's trace track, stamping the
+// rank and (unless the caller pre-filled it) the modeled clock. Call
+// sites guard with p.rec != nil so the disabled path is a single branch
+// with no event construction or clock read.
+func (p *Proc) emit(e trace.Event) {
+	e.Rank = p.cfg.Rank
+	if e.VirtUS == 0 {
+		e.VirtUS = p.task.ClockUS()
+	}
+	p.rec.Emit(e)
+}
+
 // trace logs one protocol event when tracing is enabled.
 func (p *Proc) trace(format string, args ...interface{}) {
 	if p.cfg.Trace != nil {
@@ -337,6 +367,15 @@ func (p *Proc) trace(format string, args ...interface{}) {
 func (p *Proc) dispatch(w *wire) {
 	p.trace("recv %s from %d name=%v seq=%d inactive=%v target=%d",
 		kindName(w.Kind), w.SrcRank, Name(w.Name), w.Seq, w.Inactive, w.Target)
+	if p.rec != nil {
+		switch w.Kind {
+		case kRecoverPriv, kRecoverData, kDirReport, kOwnerReport, kOwnerHint, kRecoverFin:
+			p.emit(trace.Event{
+				Kind: trace.SamRecContrib, Src: int64(w.SrcRank),
+				Note: kindName(w.Kind), Name: w.Name, Bytes: len(w.Body),
+			})
+		}
+	}
 	if len(w.StampT) > 0 {
 		p.clocks.Absorb(ft.Stamp{From: w.SrcRank, T: w.StampT, CForDst: w.StampC})
 		if len(p.freePending) > 0 {

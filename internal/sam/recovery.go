@@ -7,6 +7,7 @@ import (
 	"samft/internal/ft"
 	"samft/internal/netsim"
 	"samft/internal/pvm"
+	"samft/internal/trace"
 )
 
 // This file implements §4.5: failure detection via PVM notifications, the
@@ -507,6 +508,9 @@ func (p *Proc) stashOrInstall(w *wire) {
 // migrations), and installs any stashed recovery data.
 func (p *Proc) onOwnerReport(w *wire) {
 	name := Name(w.Name)
+	if p.rec != nil {
+		p.emit(trace.Event{Kind: trace.SamOwnerGrant, Name: w.Name, Src: int64(w.SrcRank)})
+	}
 	p.ownerConfirmed[name] = true
 	if d, ok := p.unconfirmedData[name]; ok {
 		delete(p.unconfirmedData, name)
@@ -551,6 +555,9 @@ func (p *Proc) decideOrphans() {
 	for n := range p.unconfirmedData {
 		names[n] = true
 	}
+	if p.rec != nil {
+		p.emit(trace.Event{Kind: trace.SamRecDir, Aux: int64(len(names))})
+	}
 	for name := range names {
 		if o := p.objs[name]; o != nil && o.isMain && o.created {
 			continue
@@ -588,6 +595,9 @@ func (p *Proc) sendOwnerQuery(name Name) {
 	if w := p.unconfirmedData[name]; w != nil && w.HasMeta && w.Meta.Version > ver {
 		ver = w.Meta.Version
 	}
+	if p.rec != nil {
+		p.emit(trace.Event{Kind: trace.SamOwnerQuery, Name: uint64(name), Dst: int64(p.home(name)), Aux: ver})
+	}
 	p.send(p.home(name), &wire{Kind: kOwnerQuery, Name: uint64(name),
 		Meta: ft.ObjectMeta{Version: ver}, HasMeta: true})
 }
@@ -619,6 +629,9 @@ func (p *Proc) onOwnerQuery(w *wire) {
 
 func (p *Proc) onOwnerDeny(w *wire) {
 	name := Name(w.Name)
+	if p.rec != nil {
+		p.emit(trace.Event{Kind: trace.SamOwnerDeny, Name: w.Name, Src: int64(w.SrcRank)})
+	}
 	delete(p.unconfirmedData, name)
 	delete(p.orphanHints, name)
 }
@@ -661,6 +674,9 @@ func (p *Proc) checkRestoreComplete() {
 		}
 		rs.done = true
 		p.restore = nil
+		if p.rec != nil {
+			p.emit(trace.Event{Kind: trace.SamRecRestore, Note: "fresh"})
+		}
 		p.restorec <- restoreResult{fresh: true}
 		p.flushPendingContrib()
 		return
@@ -699,6 +715,12 @@ func (p *Proc) checkRestoreComplete() {
 	}
 	rs.done = true
 	p.restore = nil
+	if p.rec != nil {
+		p.emit(trace.Event{
+			Kind: trace.SamRecRestore, Aux: priv.StepsDone,
+			T: trace.CopyVec(priv.T), C: trace.CopyVec(priv.C), D: trace.CopyVec(priv.D),
+		})
+	}
 	p.restorec <- restoreResult{fresh: false, steps: priv.StepsDone, snap: priv.AppState}
 	p.flushPendingContrib()
 }

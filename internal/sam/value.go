@@ -5,6 +5,7 @@ import (
 
 	"samft/internal/codec"
 	"samft/internal/ft"
+	"samft/internal/trace"
 )
 
 // ---- application commands ----
@@ -186,6 +187,9 @@ func (p *Proc) ensureFetch(o *object) {
 	}
 	o.fetchOutstanding = true
 	o.reqKind = kValReq
+	if p.rec != nil {
+		p.emit(trace.Event{Kind: trace.SamFetch, Name: uint64(o.name), Dst: int64(p.home(o.name))})
+	}
 	h := p.home(o.name)
 	if h == p.cfg.Rank {
 		p.localValReq(o.name, p.cfg.Rank)
@@ -404,6 +408,9 @@ func (p *Proc) installValueCopy(w *wire) {
 	o.data = data
 	o.ownerRank = w.SrcRank
 	o.invalidatePackCache()
+	if p.rec != nil {
+		p.emit(trace.Event{Kind: trace.SamFetchData, Name: w.Name, Src: int64(w.SrcRank), Bytes: len(w.Body)})
+	}
 	p.touch(o)
 	if w.Inactive {
 		// Usable (and the fetch satisfied) only once the sender's

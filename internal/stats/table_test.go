@@ -1,0 +1,76 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDelta(t *testing.T) {
+	var p Proc
+	p.Checkpoints.Add(3)
+	p.ReplicaBytes.Add(100)
+	before := p.Snapshot()
+
+	p.Checkpoints.Add(2)
+	p.ReplicaBytes.Add(50)
+	p.Recoveries.Add(1)
+	after := p.Snapshot()
+
+	d := after.Delta(before)
+	if d.Checkpoints != 2 || d.ReplicaBytes != 50 || d.Recoveries != 1 {
+		t.Fatalf("delta %+v", d)
+	}
+	if d.ObjectSends != 0 || d.StepsExecuted != 0 {
+		t.Fatalf("untouched counters leaked into delta: %+v", d)
+	}
+	// Delta against itself is zero everywhere.
+	z := after.Delta(after)
+	if z != (Snapshot{}) {
+		t.Fatalf("self delta %+v", z)
+	}
+	// Delta composes with Add: before + delta == after.
+	sum := before
+	sum.Add(d)
+	if sum != after {
+		t.Fatalf("before+delta = %+v, want %+v", sum, after)
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("name", "count", "share %")
+	tb.Row("alpha", 10, 1.5)
+	tb.Row("b", 2000, 0.25)
+	out := tb.String()
+
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %q", lines)
+	}
+	// First column left-aligned, rest right-aligned: the numeric columns'
+	// last characters line up across rows.
+	if !strings.HasPrefix(lines[0], "name") || !strings.HasPrefix(lines[1], "alpha") {
+		t.Fatalf("first column not left-aligned:\n%s", out)
+	}
+	end := func(s, sub string) int { return strings.Index(s, sub) + len(sub) }
+	if end(lines[1], "10") != end(lines[2], "2000") {
+		t.Fatalf("count column not right-aligned:\n%s", out)
+	}
+	// Floats render with fixed precision.
+	if !strings.Contains(lines[1], "1.5000") || !strings.Contains(lines[2], "0.2500") {
+		t.Fatalf("float formatting:\n%s", out)
+	}
+	// No trailing spaces.
+	for _, l := range lines {
+		if l != strings.TrimRight(l, " ") {
+			t.Fatalf("trailing spaces in %q", l)
+		}
+	}
+}
+
+func TestTableStringCells(t *testing.T) {
+	tb := NewTable("k", "v")
+	tb.Row("key", "value")
+	if !strings.Contains(tb.String(), "value") {
+		t.Fatalf("table: %q", tb.String())
+	}
+}

@@ -1,0 +1,222 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// chromeEvent is one entry of the Chrome trace-event JSON array. Field
+// names and semantics follow the Trace Event Format spec consumed by
+// chrome://tracing and Perfetto. Timestamps ("ts") are microseconds —
+// here, modeled virtual microseconds. Wall time is deliberately omitted
+// so output is deterministic for a deterministic simulation.
+type chromeEvent struct {
+	Name string                 `json:"name"`
+	Cat  string                 `json:"cat,omitempty"`
+	Ph   string                 `json:"ph"`
+	TS   float64                `json:"ts"`
+	Dur  float64                `json:"dur,omitempty"`
+	PID  int64                  `json:"pid"`
+	TID  int64                  `json:"tid"`
+	ID   int64                  `json:"id,omitempty"`
+	BP   string                 `json:"bp,omitempty"`
+	Args map[string]interface{} `json:"args,omitempty"`
+}
+
+// sliceDurUS is the nominal width of an instantaneous event's slice, in
+// virtual microseconds, chosen so slices stay visible when zoomed out.
+const sliceDurUS = 5.0
+
+// WriteChrome exports the run as Chrome trace-event JSON. One "process"
+// per track (named by its label), every event as a small duration slice
+// at its virtual timestamp, flow arrows from each net.send to the
+// matching net.recv (linked by MsgID), and each recovering incarnation's
+// phases as long slices on its track.
+func WriteChrome(t *Tracer, w io.Writer) error {
+	var out []chromeEvent
+	snaps := t.Snapshot()
+
+	// pid assignment: track-creation order, so output is deterministic.
+	for i, tk := range snaps {
+		pid := int64(i)
+		label := tk.Label
+		if label == "" {
+			label = trackName(tk.Key)
+		}
+		out = append(out, chromeEvent{
+			Name: "process_name", Ph: "M", PID: pid, TID: 0,
+			Args: map[string]interface{}{"name": label},
+		})
+		out = append(out, chromeEvent{
+			Name: "process_sort_index", Ph: "M", PID: pid, TID: 0,
+			Args: map[string]interface{}{"sort_index": i},
+		})
+
+		for _, e := range tk.Events {
+			ce := chromeEvent{
+				Name: string(e.Kind),
+				Cat:  kindCategory(e.Kind),
+				Ph:   "X",
+				TS:   e.VirtUS,
+				Dur:  sliceDurUS,
+				PID:  pid,
+				TID:  0,
+			}
+			args := map[string]interface{}{}
+			if e.Src != 0 {
+				args["src"] = e.Src
+			}
+			if e.Dst != 0 {
+				args["dst"] = e.Dst
+			}
+			if e.Tag != 0 {
+				args["tag"] = e.Tag
+			}
+			if e.Name != 0 {
+				args["object"] = e.Name
+			}
+			if e.Bytes != 0 {
+				args["bytes"] = e.Bytes
+			}
+			if e.Aux != 0 {
+				args["aux"] = e.Aux
+			}
+			if e.ExtraUS != 0 {
+				args["extra_us"] = e.ExtraUS
+			}
+			if e.Note != "" {
+				args["note"] = e.Note
+			}
+			if len(args) > 0 {
+				ce.Args = args
+			}
+			out = append(out, ce)
+
+			// Flow events: the send starts a flow, the receive ends it.
+			// MsgID is globally unique, which is exactly what the format
+			// wants for binding the two ends.
+			switch e.Kind {
+			case NetSend:
+				if e.MsgID != 0 {
+					out = append(out, chromeEvent{
+						Name: "msg", Cat: "net", Ph: "s",
+						TS: e.VirtUS, PID: pid, TID: 0, ID: e.MsgID,
+					})
+				}
+			case NetRecv, NetExit:
+				if e.MsgID != 0 {
+					out = append(out, chromeEvent{
+						Name: "msg", Cat: "net", Ph: "f", BP: "e",
+						TS: e.VirtUS, PID: pid, TID: 0, ID: e.MsgID,
+					})
+				}
+			}
+		}
+	}
+
+	// Recovery phases as wide slices on TID 1 of the recovering track, so
+	// they render as a lane under the event lane.
+	rep := AnalyzeRecovery(t)
+	pidOf := make(map[int64]int64, len(snaps))
+	for i, tk := range snaps {
+		pidOf[tk.Key] = int64(i)
+	}
+	for _, inc := range rep.Incarnations {
+		pid := pidOf[inc.Key]
+		for _, p := range inc.Phases {
+			if p.DurUS() <= 0 {
+				continue
+			}
+			out = append(out, chromeEvent{
+				Name: "recovery:" + p.Name, Cat: "recovery", Ph: "X",
+				TS: p.StartUS, Dur: p.DurUS(), PID: pid, TID: 1,
+				Args: map[string]interface{}{"msgs": p.Msgs, "bytes": p.Bytes},
+			})
+		}
+	}
+
+	// Deterministic output order: by timestamp, then pid, then the order
+	// built above (stable sort).
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].TS != out[j].TS {
+			return out[i].TS < out[j].TS
+		}
+		return out[i].PID < out[j].PID
+	})
+
+	// Wrap in the object form so a "displayTimeUnit" hint can ride along.
+	if _, err := io.WriteString(w, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	for i, ce := range out {
+		b, err := json.Marshal(ce)
+		if err != nil {
+			return err
+		}
+		if i > 0 {
+			if _, err := io.WriteString(w, ",\n"); err != nil {
+				return err
+			}
+		}
+		if _, err := w.Write(b); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "\n]}\n")
+	return err
+}
+
+// kindCategory maps an event kind to its layer prefix for Chrome's
+// category filter.
+func kindCategory(k Kind) string {
+	s := string(k)
+	for i := 0; i < len(s); i++ {
+		if s[i] == '.' {
+			return s[:i]
+		}
+	}
+	return s
+}
+
+// Dump writes the full trace of a run into dir: trace.json (Chrome
+// trace-event JSON) and recovery.txt (the phase-decomposed recovery
+// report). The directory is created if needed. Returns the paths written.
+func Dump(t *Tracer, dir string) ([]string, error) {
+	if t == nil {
+		return nil, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	var paths []string
+
+	jp := filepath.Join(dir, "trace.json")
+	jf, err := os.Create(jp)
+	if err != nil {
+		return nil, err
+	}
+	if err := WriteChrome(t, jf); err != nil {
+		jf.Close()
+		return nil, fmt.Errorf("trace: writing %s: %w", jp, err)
+	}
+	if err := jf.Close(); err != nil {
+		return nil, err
+	}
+	paths = append(paths, jp)
+
+	rp := filepath.Join(dir, "recovery.txt")
+	rf, err := os.Create(rp)
+	if err != nil {
+		return paths, err
+	}
+	AnalyzeRecovery(t).Fprint(rf)
+	if err := rf.Close(); err != nil {
+		return paths, err
+	}
+	paths = append(paths, rp)
+	return paths, nil
+}

@@ -1,0 +1,144 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestNilTracerAndRecorderAreNoOps(t *testing.T) {
+	var tr *Tracer
+	if tr.Track(3) != nil {
+		t.Fatal("nil tracer returned a live recorder")
+	}
+	if tr.Control() != nil {
+		t.Fatal("nil tracer returned a live control recorder")
+	}
+	if tr.Snapshot() != nil || len(tr.Timeline()) != 0 {
+		t.Fatal("nil tracer produced data")
+	}
+
+	var r *Recorder
+	if r.Enabled() {
+		t.Fatal("nil recorder enabled")
+	}
+	r.Emit(Event{Kind: NetSend}) // must not panic
+	r.Label("x", 0)
+	if r.Events() != nil || r.Dropped() != 0 {
+		t.Fatal("nil recorder retained data")
+	}
+}
+
+func TestRingWrap(t *testing.T) {
+	tr := New(4)
+	r := tr.Track(1)
+	for i := 0; i < 10; i++ {
+		r.Emit(Event{Kind: NetSend, VirtUS: float64(i), Aux: int64(i)})
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	// The survivors are the last four, in emission order, with their
+	// original sequence numbers.
+	for i, e := range evs {
+		want := int64(6 + i)
+		if e.Aux != want || e.Seq != uint64(want) {
+			t.Fatalf("event %d: aux=%d seq=%d, want %d", i, e.Aux, e.Seq, want)
+		}
+	}
+	if r.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", r.Dropped())
+	}
+}
+
+func TestConcurrentEmit(t *testing.T) {
+	// Run with -race: many goroutines emitting into the same and different
+	// tracks while a reader snapshots mid-flight.
+	tr := New(64)
+	var wg sync.WaitGroup
+	const writers, per = 8, 500
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := tr.Track(int64(w % 3)) // contend on 3 tracks
+			for i := 0; i < per; i++ {
+				r.Emit(Event{Kind: NetRecv, VirtUS: float64(i), Src: int64(w)})
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			tr.Snapshot()
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	total := uint64(0)
+	for _, s := range tr.Snapshot() {
+		total += uint64(len(s.Events)) + s.Dropped
+	}
+	if total != writers*per {
+		t.Fatalf("retained+dropped = %d, want %d", total, writers*per)
+	}
+}
+
+func TestTimelineDeterministicTieBreak(t *testing.T) {
+	build := func() *Tracer {
+		tr := New(0)
+		a := tr.Track(10) // created first
+		b := tr.Track(20)
+		// Same virtual time everywhere: order must fall back to track
+		// creation order, then per-track sequence.
+		b.Emit(Event{Kind: NetRecv, VirtUS: 5, Aux: 3})
+		a.Emit(Event{Kind: NetSend, VirtUS: 5, Aux: 1})
+		a.Emit(Event{Kind: NetSend, VirtUS: 5, Aux: 2})
+		b.Emit(Event{Kind: NetRecv, VirtUS: 5, Aux: 4})
+		a.Emit(Event{Kind: NetSend, VirtUS: 1, Aux: 0}) // earlier time sorts first
+		return tr
+	}
+	want := []int64{0, 1, 2, 3, 4}
+	for run := 0; run < 3; run++ {
+		tl := build().Timeline()
+		if len(tl) != len(want) {
+			t.Fatalf("timeline length %d", len(tl))
+		}
+		for i, e := range tl {
+			if e.Aux != want[i] {
+				got := make([]int64, len(tl))
+				for j := range tl {
+					got[j] = tl[j].Aux
+				}
+				t.Fatalf("run %d: order %v, want %v", run, got, want)
+			}
+		}
+	}
+}
+
+func TestTimelineLabelsAndSeqFill(t *testing.T) {
+	tr := New(0)
+	tr.Label(7, "rank0", 0)
+	tr.Track(7).Emit(Event{Kind: PvmSpawn, VirtUS: 1})
+	tr.Control().Emit(Event{Kind: ClusterKill, VirtUS: 2})
+	tr.Track(9).Emit(Event{Kind: NetSend, VirtUS: 3})
+
+	tl := tr.Timeline()
+	if len(tl) != 3 {
+		t.Fatalf("timeline %v", tl)
+	}
+	if tl[0].Track != "rank0" || tl[0].Rank != 0 {
+		t.Fatalf("labeled track = %q rank %d", tl[0].Track, tl[0].Rank)
+	}
+	if tl[1].Track != "cluster" {
+		t.Fatalf("control track = %q", tl[1].Track)
+	}
+	if tl[2].Track != "tid9" {
+		t.Fatalf("unlabeled track = %q", tl[2].Track)
+	}
+	if tl[0].WallNS == 0 {
+		t.Fatal("Emit did not fill WallNS")
+	}
+}
