@@ -39,6 +39,6 @@ func main() {
 	} else {
 		fmt.Println("RESULT MISMATCH — recovery bug")
 	}
-	fmt.Printf("recovery wall time: %.3f s\n", res.RecoverySec)
+	fmt.Printf("recovery modeled time: %.3f s\n", res.RecoverySec)
 	fmt.Printf("stats: %s\n", res.Report)
 }

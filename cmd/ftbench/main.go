@@ -117,8 +117,8 @@ func figure(app experiments.AppKind, scale experiments.Scale, procs []int) error
 
 // recovery reproduces the "recovery takes on the order of a few seconds"
 // result (E4): kill one of the processes mid-run for each application.
-// These cells run sequentially on purpose: RecoverySec is a wall-clock
-// measurement and must not share the machine with other simulations.
+// RecoverySec is measured on the modeled clock, so these cells could
+// share the machine; they run sequentially to keep output ordering tidy.
 // With -trace, each killed run records its virtual-time timeline; the
 // phase-decomposed recovery report is printed and the Chrome trace dumped.
 func recovery(scale experiments.Scale, traceDir string) error {

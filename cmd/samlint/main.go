@@ -1,0 +1,76 @@
+// Command samlint runs the repository's custom determinism and
+// fault-tolerance-protocol analyzers (see internal/lint) over the
+// module, multichecker-style:
+//
+//	go run ./cmd/samlint ./...
+//	go run ./cmd/samlint ./internal/sam ./internal/cluster
+//
+// With no arguments it checks ./... from the current directory. Exit
+// status: 0 clean, 1 findings, 2 the tree failed to load or type-check.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"samft/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "print the analyzer suite and exit")
+	flag.Usage = usage
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	res, err := lint.Run(lint.Options{Dir: ".", Patterns: patterns})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "samlint: %v\n", err)
+		os.Exit(2)
+	}
+	if len(res.TypeErrors) > 0 {
+		paths := make([]string, 0, len(res.TypeErrors))
+		for p := range res.TypeErrors {
+			paths = append(paths, p)
+		}
+		sort.Strings(paths)
+		for _, p := range paths {
+			for _, e := range res.TypeErrors[p] {
+				fmt.Fprintf(os.Stderr, "samlint: %s: %v\n", p, e)
+			}
+		}
+		os.Exit(2)
+	}
+	for _, d := range res.Diagnostics {
+		fmt.Println(lint.FormatDiagnostic(res.Fset, d))
+	}
+	if len(res.Diagnostics) > 0 {
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: samlint [-list] [packages]\n\n")
+	fmt.Fprintf(os.Stderr, "Analyzers:\n")
+	for _, a := range lint.Analyzers() {
+		doc := a.Doc
+		if i := strings.IndexByte(doc, '\n'); i >= 0 {
+			doc = doc[:i]
+		}
+		fmt.Fprintf(os.Stderr, "  %-16s %s\n", a.Name, doc)
+	}
+	flag.PrintDefaults()
+}

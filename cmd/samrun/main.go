@@ -65,6 +65,6 @@ func main() {
 	fmt.Printf("modeled time: %.4f s (wall %.2f s)\n", res.ModeledSec, res.WallSec)
 	fmt.Printf("stats: %s\n", res.Report)
 	if res.RecoverySec > 0 {
-		fmt.Printf("recovery completed %.3f s after the kill\n", res.RecoverySec)
+		fmt.Printf("recovery completed %.3f modeled s after the kill\n", res.RecoverySec)
 	}
 }

@@ -279,13 +279,18 @@ func (c *Cluster) Wait(timeout time.Duration) error {
 // within the timeout. Meaningful after WaitFinished (applications done,
 // runtimes still serving).
 func (c *Cluster) Quiesce(timeout time.Duration) bool {
-	deadline := time.Now().Add(timeout)
+	// Timer/ticker rather than time.Now polling: the deadline and sample
+	// cadence are host-side timeouts and never leak into simulation state.
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	sample := time.NewTicker(2 * time.Millisecond)
+	defer sample.Stop()
 	var last struct {
 		pending   int
 		processed int64
 	}
 	stable := 0
-	for time.Now().Before(deadline) {
+	for {
 		c.mu.Lock()
 		pending := 0
 		var processed int64
@@ -308,9 +313,12 @@ func (c *Cluster) Quiesce(timeout time.Duration) bool {
 			stable = 0
 		}
 		last.pending, last.processed = pending, processed
-		time.Sleep(2 * time.Millisecond)
+		select {
+		case <-deadline.C:
+			return false
+		case <-sample.C:
+		}
 	}
-	return false
 }
 
 // InvariantSnapshots collects each rank's end-of-run state summary. Call

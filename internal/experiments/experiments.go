@@ -108,14 +108,18 @@ type Spec struct {
 type Result struct {
 	Spec       Spec
 	ModeledSec float64
-	WallSec    float64
-	Report     stats.Report
+	// WallSec is host wall-clock duration of the whole run — a
+	// diagnostic throughput number, never part of the simulation result.
+	WallSec float64
+	Report  stats.Report
 	// Answer is an application-level scalar used to cross-check that
 	// different configurations compute the same thing (GPS best fitness,
 	// Water final potential energy, Barnes-Hut final tree mass).
 	Answer float64
-	// RecoverySec is the wall-clock time from failure injection to the
-	// first completed recovery (0 when no failure was injected).
+	// RecoverySec is the modeled (virtual) time from failure injection to
+	// the first completed recovery (0 when no failure was injected).
+	// Modeled rather than wall-clock so the number is reproducible across
+	// hosts and runs with identical seeds.
 	RecoverySec float64
 	// KillsApplied counts kill events that actually took down a live
 	// process (an event can be a no-op, e.g. an OnRecovery trigger whose
@@ -206,15 +210,21 @@ func Run(spec Spec) (Result, error) {
 	var cl *cluster.Cluster
 	killOnces := make([]sync.Once, len(spec.Kills))
 	var killsApplied atomic.Int64
-	var killAt, recoveredAt time.Time
+	// Kill/recovery instants are read off the cluster's modeled clock, so
+	// RecoverySec is a property of the simulated schedule (reproducible
+	// under a fixed seed), not of host scheduling.
+	var killAtSec, recoveredAtSec float64
+	var killSeen, recoverySeen bool
 	var recMu sync.Mutex
 
 	// fire executes kill event i exactly once.
 	fire := func(i int) {
 		killOnces[i].Do(func() {
+			now := cl.ElapsedModeledSec()
 			recMu.Lock()
-			if killAt.IsZero() {
-				killAt = time.Now()
+			if !killSeen {
+				killSeen = true
+				killAtSec = now
 			}
 			recMu.Unlock()
 			if cl.Kill(spec.Kills[i].Rank) {
@@ -235,9 +245,11 @@ func Run(spec Spec) (Result, error) {
 			if rank == 0 {
 				a.OnResult = func(best float64) {
 					ans.put(best)
+					now := cl.ElapsedModeledSec()
 					recMu.Lock()
-					if !killAt.IsZero() && recoveredAt.IsZero() {
-						recoveredAt = time.Now()
+					if killSeen && !recoverySeen {
+						recoverySeen = true
+						recoveredAtSec = now
 					}
 					recMu.Unlock()
 				}
@@ -315,7 +327,7 @@ func Run(spec Spec) (Result, error) {
 			}
 		},
 	})
-	start := time.Now()
+	start := time.Now() //samlint:allow wallclock -- WallSec is a host-side diagnostic
 	var rep stats.Report
 	var violations []string
 	if spec.CheckInvariants {
@@ -346,7 +358,7 @@ func Run(spec Spec) (Result, error) {
 			return Result{}, err
 		}
 	}
-	wall := time.Since(start).Seconds()
+	wall := time.Since(start).Seconds() //samlint:allow wallclock -- WallSec is a host-side diagnostic
 	res := Result{
 		Spec:                spec,
 		ModeledSec:          rep.Elapsed,
@@ -357,10 +369,12 @@ func Run(spec Spec) (Result, error) {
 		InvariantViolations: violations,
 	}
 	recMu.Lock()
-	if !killAt.IsZero() && !recoveredAt.IsZero() {
-		res.RecoverySec = recoveredAt.Sub(killAt).Seconds()
-	} else if !killAt.IsZero() {
-		res.RecoverySec = time.Since(killAt).Seconds()
+	if killSeen && recoverySeen {
+		res.RecoverySec = recoveredAtSec - killAtSec
+	} else if killSeen {
+		// No recovery marker observed (e.g. the app finished without
+		// re-reporting): charge up to the end of the modeled run.
+		res.RecoverySec = rep.Elapsed - killAtSec
 	}
 	recMu.Unlock()
 	return res, nil

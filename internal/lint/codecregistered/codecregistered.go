@@ -1,0 +1,205 @@
+// Package codecregistered checks the codec type registry statically.
+// Two failure modes motivate it, and neither surfaces until a process
+// actually packs the offending value — often mid-recovery:
+//
+//   - codec.Pack (and PackedSize/DeepCopy) on an unregistered named type
+//     fails at runtime with ErrNotRegistered, and
+//   - the reflection codec silently skips unexported struct fields, so a
+//     registered type with private state round-trips lossy: the packed
+//     checkpoint restores with those fields zeroed.
+//
+// The analyzer collects every codec.Register sample type module-wide,
+// flags Pack/PackedSize/DeepCopy call sites whose concrete argument type
+// is not registered (interface-typed arguments are dynamic and pass),
+// and walks each registered type's field graph rejecting reachable
+// unexported fields.
+package codecregistered
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"samft/internal/lint/analysis"
+)
+
+// Analyzer is the codecregistered check (module-scope: Register calls in
+// one package legitimize Pack calls in another).
+var Analyzer = &analysis.Analyzer{
+	Name:        "codecregistered",
+	ModuleScope: true,
+	Doc: "types passed to codec.Pack must be registered, and registered " +
+		"types must not carry unexported fields (the codec drops them silently)",
+	Run: run,
+}
+
+// packFuncs are the codec entry points whose first argument must have a
+// registered type when it is a concrete named type.
+var packFuncs = map[string]bool{"Pack": true, "PackedSize": true, "DeepCopy": true}
+
+func run(pass *analysis.Pass) error {
+	reg := collectRegistered(pass)
+	checkRegisteredFields(pass, reg)
+	for _, p := range pass.All {
+		checkPackSites(pass, p, reg)
+	}
+	return nil
+}
+
+type registration struct {
+	typ types.Type
+	pos ast.Node // the Register call, for field diagnostics
+}
+
+// codecFunc resolves a call to a package-level function of a package
+// named "codec", returning the function name.
+func codecFunc(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Name() != "codec" {
+		return ""
+	}
+	if info.Selections[sel] != nil {
+		return "" // method call, not the package API
+	}
+	return fn.Name()
+}
+
+// collectRegistered gathers the dynamic types of codec.Register samples
+// across the module. Pointer samples register their element type, same
+// as the runtime registry.
+func collectRegistered(pass *analysis.Pass) []registration {
+	var regs []registration
+	for _, p := range pass.All {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if codecFunc(p.Info, call) != "Register" || len(call.Args) < 2 {
+					return true
+				}
+				tv, ok := p.Info.Types[call.Args[1]]
+				if !ok || tv.Type == nil {
+					return true
+				}
+				regs = append(regs, registration{typ: deref(tv.Type), pos: call})
+				return true
+			})
+		}
+	}
+	return regs
+}
+
+// checkPackSites flags Pack/PackedSize/DeepCopy calls whose argument's
+// concrete named type is not registered. Interface-typed and unnamed
+// (e.g. basic, slice literal) arguments are left to the runtime check.
+func checkPackSites(pass *analysis.Pass, p *analysis.Package, regs []registration) {
+	registered := make(map[string]bool, len(regs))
+	for _, r := range regs {
+		if named, ok := r.typ.(*types.Named); ok {
+			registered[named.Obj().Pkg().Path()+"."+named.Obj().Name()] = true
+		}
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name := codecFunc(p.Info, call)
+			if !packFuncs[name] || len(call.Args) < 1 {
+				return true
+			}
+			tv, ok := p.Info.Types[call.Args[0]]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			t := deref(tv.Type)
+			if types.IsInterface(t) {
+				return true // dynamic type: checked at runtime
+			}
+			named, ok := t.(*types.Named)
+			if !ok || named.Obj().Pkg() == nil {
+				return true
+			}
+			key := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+			if !registered[key] {
+				pass.Reportf(call.Args[0].Pos(),
+					"codec.%s of unregistered type %s (add a codec.Register in the type's package init)",
+					name, named.Obj().Name())
+			}
+			return true
+		})
+	}
+}
+
+// checkRegisteredFields walks each registered type's reachable field
+// graph and reports unexported fields, which the codec plan compiler
+// silently omits from the wire format.
+func checkRegisteredFields(pass *analysis.Pass, regs []registration) {
+	for _, r := range regs {
+		named, ok := r.typ.(*types.Named)
+		if !ok {
+			continue
+		}
+		seen := make(map[types.Type]bool)
+		var bad []string
+		findUnexported(named, named.Obj().Name(), seen, &bad)
+		sort.Strings(bad)
+		for _, path := range bad {
+			pass.Reportf(r.pos.Pos(),
+				"registered type %s reaches unexported field %s, which codec silently drops from the wire (state will restore zeroed)",
+				named.Obj().Name(), path)
+		}
+	}
+}
+
+// findUnexported accumulates dotted paths of unexported fields reachable
+// from t. It recurses through named struct element types but not into
+// other packages' opaque stdlib types unless they actually appear — the
+// codec packs whatever reflection sees, so stdlib structs with private
+// fields (time.Time and friends) are just as lossy and are reported too.
+func findUnexported(t types.Type, path string, seen map[types.Type]bool, out *[]string) {
+	switch t := t.(type) {
+	case *types.Named:
+		if seen[t] {
+			return
+		}
+		seen[t] = true
+		findUnexported(t.Underlying(), path, seen, out)
+	case *types.Pointer:
+		findUnexported(t.Elem(), path, seen, out)
+	case *types.Slice:
+		findUnexported(t.Elem(), path+"[]", seen, out)
+	case *types.Array:
+		findUnexported(t.Elem(), path+"[]", seen, out)
+	case *types.Map:
+		findUnexported(t.Elem(), path+"[]", seen, out)
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			f := t.Field(i)
+			fp := path + "." + f.Name()
+			if !f.Exported() && !strings.HasPrefix(f.Name(), "_") {
+				*out = append(*out, fp)
+				continue
+			}
+			findUnexported(f.Type(), fp, seen, out)
+		}
+	}
+}
+
+func deref(t types.Type) types.Type {
+	for {
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			return t
+		}
+		t = p.Elem()
+	}
+}

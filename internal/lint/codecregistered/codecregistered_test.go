@@ -1,0 +1,12 @@
+package codecregistered_test
+
+import (
+	"testing"
+
+	"samft/internal/lint/codecregistered"
+	"samft/internal/lint/linttest"
+)
+
+func TestCodecRegistered(t *testing.T) {
+	linttest.Run(t, codecregistered.Analyzer)
+}

@@ -1,0 +1,44 @@
+// Package wiretypes exercises the codecregistered analyzer: registered
+// and unregistered Pack arguments, and registered types whose field
+// graphs reach unexported (silently dropped) fields.
+package wiretypes
+
+import "codec"
+
+// Good is fully exported: packs losslessly.
+type Good struct {
+	A int64
+	B []string
+}
+
+// Leaky has a private field the codec silently omits.
+type Leaky struct {
+	A      int64
+	hidden int64
+}
+
+// Nested reaches Leaky's private field one hop down.
+type Nested struct {
+	Inner Leaky
+}
+
+// Unreg is a perfectly packable type nobody registered.
+type Unreg struct{ X int64 }
+
+func init() {
+	codec.Register("wiretypes.Good", Good{})
+	codec.Register("wiretypes.Leaky", Leaky{})   // want "unexported field Leaky.hidden"
+	codec.Register("wiretypes.Nested", Nested{}) // want "Nested.Inner.hidden"
+}
+
+func roundTrip(g Good, u Unreg) {
+	_, _ = codec.Pack(g)  // registered: ok
+	_, _ = codec.Pack(&g) // pointer to registered element: ok
+	_, _ = codec.Pack(u)  // want "unregistered type Unreg"
+
+	_, _ = codec.PackedSize(g)  // ok
+	_, _ = codec.DeepCopy(u)    // want "unregistered type Unreg"
+
+	var dyn interface{} = u
+	_, _ = codec.Pack(dyn) // interface argument: dynamic, left to runtime
+}

@@ -1,0 +1,12 @@
+package detiter_test
+
+import (
+	"testing"
+
+	"samft/internal/lint/detiter"
+	"samft/internal/lint/linttest"
+)
+
+func TestDetIter(t *testing.T) {
+	linttest.Run(t, detiter.Analyzer)
+}

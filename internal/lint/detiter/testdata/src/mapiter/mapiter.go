@@ -1,0 +1,55 @@
+// Package mapiter exercises the detiter analyzer: map-range loops that
+// reach a send (directly or through helpers) versus loops that merely
+// collect and sort before acting.
+package mapiter
+
+import "sort"
+
+type conn struct{}
+
+func (c *conn) Send(dst int, tag int, b []byte) {}
+
+type proc struct {
+	peers map[int]*conn
+	objs  map[string]int
+}
+
+// broadcastBad sends in map order: flagged.
+func (p *proc) broadcastBad(b []byte) {
+	for rank, c := range p.peers { // want "map iteration order reaches a send/emit"
+		c.Send(rank, 1, b)
+	}
+}
+
+// notifyBad reaches a send through a same-package helper: flagged.
+func (p *proc) notifyBad() {
+	for name := range p.objs { // want "map iteration order reaches a send/emit"
+		p.publish(name)
+	}
+}
+
+func (p *proc) publish(name string) {
+	p.peers[0].Send(0, 1, []byte(name))
+}
+
+// collectOK only gathers keys inside the map range; the sends happen on
+// the sorted slice. Not flagged.
+func (p *proc) collectOK() {
+	var names []string
+	for name := range p.objs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		p.publish(n)
+	}
+}
+
+// countOK never reaches a send at all. Not flagged.
+func (p *proc) countOK() int {
+	total := 0
+	for _, v := range p.objs {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,62 @@
+// Package lint is samlint: a suite of static analyzers that mechanically
+// enforce the determinism and protocol invariants the paper's recovery
+// guarantees depend on. The rules were previously unwritten reviewer
+// knowledge; two earlier changes each fixed a latent violation (a
+// dead-watcher notification hole, an unsynchronized result box) that
+// these checks would have rejected at vet time.
+//
+// # Analyzers
+//
+//   - nowallclock — forbids wall-clock reads (time.Now, time.Since,
+//     time.Sleep, time.Until, time.Tick) and global math/rand use inside
+//     deterministic packages (everything under internal/). Simulated
+//     layers must use modeled time (netsim clocks) and seeded xrand.
+//   - detiter — flags `range` over a map whose body reaches a message
+//     send or trace emit without an intervening sort: map order is
+//     random per process, so anything it feeds onto the wire or into a
+//     trace track breaks run-to-run reproducibility.
+//   - tagunique — collects every PVM/SAM message-tag constant (names
+//     matching Tag*), rejects duplicate tag values, tags below
+//     TagUserBase, and Send/Recv/TryRecv/Probe call sites whose constant
+//     tag argument is not a registered tag.
+//   - lockheld — enforces the *Locked naming convention: a function
+//     suffixed "Locked" must not lock its receiver's mutex (it runs with
+//     the lock already held), and a caller of a *Locked function must
+//     hold the corresponding mutex on every path to the call.
+//   - codecregistered — verifies every concrete type passed to
+//     codec.Pack / codec.PackedSize / codec.DeepCopy is registered, and
+//     that registered types carry no unexported fields, which the codec
+//     silently drops from the wire format.
+//
+// # Suppression directives
+//
+// An intentional violation is annotated in place:
+//
+//	//samlint:allow <key> [<key>...] [-- reason]
+//
+// The directive suppresses matching findings on its own line and on the
+// line directly below it, so it can trail the offending expression or
+// stand alone above the statement. <key> is an analyzer name (detiter,
+// lockheld, ...) or an analyzer's category; nowallclock uses the
+// category "wallclock", so the canonical escape hatch for an intentional
+// wall-clock read is:
+//
+//	e.WallNS = time.Now().UnixNano() //samlint:allow wallclock
+//
+// The key "all" suppresses every analyzer on that line; prefer naming
+// the specific check. An optional "--" introduces a free-form reason.
+//
+// # Running
+//
+// The multichecker binary lives in cmd/samlint:
+//
+//	go run ./cmd/samlint ./...
+//
+// It exits 0 when the tree is clean, 1 when there are findings, and 2 on
+// load/type-check failure. Unlike go/analysis-based vet tools, samlint
+// cannot be plugged into `go vet -vettool=...`: the vet protocol drives
+// one package at a time, while tagunique and codecregistered need the
+// whole module at once (and the offline build cannot vendor x/tools,
+// whose unitchecker implements that protocol). CI runs the standalone
+// binary right next to `go vet`, which covers the same ground.
+package lint

@@ -1,0 +1,291 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+
+	"samft/internal/lint/analysis"
+	"samft/internal/lint/codecregistered"
+	"samft/internal/lint/detiter"
+	"samft/internal/lint/load"
+	"samft/internal/lint/lockheld"
+	"samft/internal/lint/nowallclock"
+	"samft/internal/lint/tagunique"
+)
+
+// Analyzers returns the full samlint suite.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		nowallclock.Analyzer,
+		detiter.Analyzer,
+		tagunique.Analyzer,
+		lockheld.Analyzer,
+		codecregistered.Analyzer,
+	}
+}
+
+// deterministicPrefix marks the packages whose behavior must be a pure
+// function of the simulation inputs: everything under internal/ — the
+// simulator layers (netsim, pvm, sam, ft, jade, trace, codec, ckpt), the
+// harness (cluster, experiments), and the applications. cmd/ and
+// examples/ are host-side front ends and may read the wall clock.
+const deterministicPrefix = "samft/internal/"
+
+// Deterministic reports whether the package at path must obey the
+// wall-clock ban (see the nowallclock analyzer).
+func Deterministic(path string) bool {
+	return strings.HasPrefix(path, deterministicPrefix)
+}
+
+// Options configures one Run.
+type Options struct {
+	// Dir is any directory inside the module to lint.
+	Dir string
+	// Patterns restricts which packages are analyzed (and, for
+	// module-scope analyzers, where findings may be reported). Supported
+	// forms: "./...", "./some/dir/...", "./some/dir", and bare import
+	// paths. Empty means everything.
+	Patterns []string
+	// Analyzers overrides the suite (nil = Analyzers()).
+	Analyzers []*analysis.Analyzer
+}
+
+// Result is the outcome of one Run.
+type Result struct {
+	Diagnostics []analysis.Diagnostic
+	Fset        *token.FileSet
+	// TypeErrors holds type-checker errors per package path. A tree that
+	// `go build` accepts produces none; when present, diagnostics may be
+	// incomplete.
+	TypeErrors map[string][]error
+}
+
+// Run loads the module containing opts.Dir and applies the analyzer
+// suite. Diagnostics suppressed by //samlint:allow directives are
+// dropped; the rest are returned sorted by position.
+func Run(opts Options) (*Result, error) {
+	modPath, modRoot, err := load.ModulePathOf(opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	pkgs, fset, err := load.Load(load.Config{Dir: modRoot, ModulePath: modPath})
+	if err != nil {
+		return nil, err
+	}
+	match, err := patternMatcher(modPath, opts.Patterns)
+	if err != nil {
+		return nil, err
+	}
+	analyzers := opts.Analyzers
+	if analyzers == nil {
+		analyzers = Analyzers()
+	}
+
+	res := &Result{Fset: fset, TypeErrors: make(map[string][]error)}
+	for _, p := range pkgs {
+		if len(p.TypeErrors) > 0 {
+			res.TypeErrors[p.Path] = p.TypeErrors
+		}
+	}
+
+	var diags []analysis.Diagnostic
+	report := func(d analysis.Diagnostic) { diags = append(diags, d) }
+	for _, a := range analyzers {
+		if a.ModuleScope {
+			pass := &analysis.Pass{Analyzer: a, Fset: fset, All: pkgs, Report: report}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %w", a.Name, err)
+			}
+			continue
+		}
+		for _, p := range pkgs {
+			if !match(p.Path) {
+				continue
+			}
+			if a == nowallclock.Analyzer && !Deterministic(p.Path) {
+				continue
+			}
+			pass := &analysis.Pass{Analyzer: a, Fset: fset, Pkg: p, All: pkgs, Report: report}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, p.Path, err)
+			}
+		}
+	}
+
+	allows := collectAllows(fset, pkgs)
+	pkgOf := make(map[string]string, len(pkgs)) // file -> package path
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			pkgOf[fset.Position(f.Pos()).Filename] = p.Path
+		}
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if !match(pkgOf[pos.Filename]) {
+			continue // module-scope finding outside the requested patterns
+		}
+		if allows.suppressed(pos, d.Category, d.Analyzer) {
+			continue
+		}
+		res.Diagnostics = append(res.Diagnostics, d)
+	}
+	sort.Slice(res.Diagnostics, func(i, j int) bool {
+		pi, pj := fset.Position(res.Diagnostics[i].Pos), fset.Position(res.Diagnostics[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return res.Diagnostics[i].Analyzer < res.Diagnostics[j].Analyzer
+	})
+	return res, nil
+}
+
+// RunPackages applies analyzers to already-loaded packages, honoring
+// //samlint:allow suppression. linttest uses it to drive fixtures exactly
+// the way the real driver drives the module.
+func RunPackages(fset *token.FileSet, pkgs []*analysis.Package, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
+	var diags []analysis.Diagnostic
+	report := func(d analysis.Diagnostic) { diags = append(diags, d) }
+	for _, a := range analyzers {
+		if a.ModuleScope {
+			pass := &analysis.Pass{Analyzer: a, Fset: fset, All: pkgs, Report: report}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %w", a.Name, err)
+			}
+			continue
+		}
+		for _, p := range pkgs {
+			pass := &analysis.Pass{Analyzer: a, Fset: fset, Pkg: p, All: pkgs, Report: report}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, p.Path, err)
+			}
+		}
+	}
+	allows := collectAllows(fset, pkgs)
+	out := diags[:0]
+	for _, d := range diags {
+		if allows.suppressed(fset.Position(d.Pos), d.Category, d.Analyzer) {
+			continue
+		}
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out, nil
+}
+
+// patternMatcher compiles go-tool-style package patterns against the
+// module's import paths.
+func patternMatcher(modPath string, patterns []string) (func(string) bool, error) {
+	if len(patterns) == 0 {
+		return func(string) bool { return true }, nil
+	}
+	type rule struct {
+		prefix string // match path == prefix or path starting with prefix+"/"
+		exact  bool
+	}
+	var rules []rule
+	for _, pat := range patterns {
+		p := strings.TrimSuffix(pat, "/")
+		recursive := false
+		if strings.HasSuffix(p, "/...") || p == "..." {
+			recursive = true
+			p = strings.TrimSuffix(strings.TrimSuffix(p, "..."), "/")
+		}
+		switch {
+		case p == "." || p == "":
+			p = modPath
+		case strings.HasPrefix(p, "./"):
+			p = modPath + "/" + strings.TrimPrefix(p, "./")
+		case !strings.HasPrefix(p, modPath):
+			p = modPath + "/" + p
+		}
+		rules = append(rules, rule{prefix: p, exact: !recursive})
+	}
+	return func(path string) bool {
+		if path == "" {
+			return false
+		}
+		for _, r := range rules {
+			if path == r.prefix {
+				return true
+			}
+			if !r.exact && strings.HasPrefix(path, r.prefix+"/") {
+				return true
+			}
+		}
+		return false
+	}, nil
+}
+
+// allowIndex records //samlint:allow directives by file and line.
+type allowIndex map[string]map[int][]string
+
+// collectAllows scans every file's comments for allow directives. A
+// directive suppresses matching diagnostics on its own line and on the
+// line directly below it (so it can trail the offending expression or
+// stand alone above it).
+func collectAllows(fset *token.FileSet, pkgs []*analysis.Package) allowIndex {
+	idx := make(allowIndex)
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					keys, ok := parseAllow(c.Text)
+					if !ok {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					lines := idx[pos.Filename]
+					if lines == nil {
+						lines = make(map[int][]string)
+						idx[pos.Filename] = lines
+					}
+					lines[pos.Line] = append(lines[pos.Line], keys...)
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// parseAllow parses "//samlint:allow key1 key2 -- optional reason".
+func parseAllow(text string) ([]string, bool) {
+	body, ok := strings.CutPrefix(text, "//samlint:allow")
+	if !ok {
+		return nil, false
+	}
+	if reason := strings.Index(body, "--"); reason >= 0 {
+		body = body[:reason]
+	}
+	keys := strings.Fields(body)
+	if len(keys) == 0 {
+		return nil, false
+	}
+	return keys, true
+}
+
+func (idx allowIndex) suppressed(pos token.Position, category, analyzer string) bool {
+	lines := idx[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, k := range lines[line] {
+			if k == category || k == analyzer || k == "all" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// FormatDiagnostic renders one finding in the standard file:line:col
+// style used by go vet.
+func FormatDiagnostic(fset *token.FileSet, d analysis.Diagnostic) string {
+	pos := fset.Position(d.Pos)
+	return fmt.Sprintf("%s:%d:%d: %s: %s", pos.Filename, pos.Line, pos.Column, d.Analyzer, d.Message)
+}

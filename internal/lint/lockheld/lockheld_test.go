@@ -1,0 +1,12 @@
+package lockheld_test
+
+import (
+	"testing"
+
+	"samft/internal/lint/linttest"
+	"samft/internal/lint/lockheld"
+)
+
+func TestLockHeld(t *testing.T) {
+	linttest.Run(t, lockheld.Analyzer)
+}

@@ -1,0 +1,117 @@
+// Package locks exercises the lockheld analyzer with the checkpoint
+// bookkeeping shape the convention protects: a struct whose mutable
+// tables are guarded by a mutex, *Locked helpers that assume the lock,
+// and callers that do (and do not) hold it.
+package locks
+
+import "sync"
+
+type table struct {
+	mu   sync.Mutex
+	seq  int64
+	objs map[string]int
+}
+
+// bumpLocked assumes t.mu is held. Compliant: it only touches state.
+func (t *table) bumpLocked(name string) {
+	t.objs[name]++
+	t.seq++
+}
+
+// snapshotLocked may call sibling *Locked helpers: the obligation is the
+// caller's. Compliant.
+func (t *table) snapshotLocked() map[string]int {
+	t.bumpLocked("snapshot")
+	out := make(map[string]int, len(t.objs))
+	for k, v := range t.objs {
+		out[k] = v
+	}
+	return out
+}
+
+// resetLocked violates the convention: it locks the very mutex its name
+// promises the caller already holds.
+func (t *table) resetLocked() {
+	t.mu.Lock() // want "resetLocked is declared"
+	t.objs = map[string]int{}
+	t.mu.Unlock() // want "resetLocked is declared"
+}
+
+// Bump holds the lock across the helper. Compliant.
+func (t *table) Bump(name string) {
+	t.mu.Lock()
+	t.bumpLocked(name)
+	t.mu.Unlock()
+}
+
+// Snapshot uses the deferred-unlock idiom: the lock stays held for the
+// rest of the body. Compliant.
+func (t *table) Snapshot() map[string]int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.snapshotLocked()
+}
+
+// BumpRacy calls the helper with no lock at all.
+func (t *table) BumpRacy(name string) {
+	t.bumpLocked(name) // want "without holding"
+}
+
+// BumpHalf holds the lock on only one branch: the merged state at the
+// call no longer guarantees it.
+func (t *table) BumpHalf(name string, lock bool) {
+	if lock {
+		t.mu.Lock()
+	}
+	t.bumpLocked(name) // want "on every path"
+	if lock {
+		t.mu.Unlock()
+	}
+}
+
+// BumpOrBail's unlocking path returns before the call, so every path
+// reaching the helper still holds the lock. Compliant.
+func (t *table) BumpOrBail(name string, ready bool) {
+	t.mu.Lock()
+	if !ready {
+		t.mu.Unlock()
+		return
+	}
+	t.bumpLocked(name)
+	t.mu.Unlock()
+}
+
+// BumpAfterUnlock releases before the call.
+func (t *table) BumpAfterUnlock(name string) {
+	t.mu.Lock()
+	t.seq++
+	t.mu.Unlock()
+	t.bumpLocked(name) // want "without holding"
+}
+
+// Package-level form of the same convention.
+var (
+	regMu sync.RWMutex
+	reg   = map[string]int{}
+)
+
+func registerLocked(k string) { reg[k]++ }
+
+// Register holds the package mutex. Compliant.
+func Register(k string) {
+	regMu.Lock()
+	registerLocked(k)
+	regMu.Unlock()
+}
+
+// ReadSide holds the read lock, which also satisfies the convention.
+func ReadSide(k string) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	registerLocked(k)
+}
+
+// RegisterRacy holds nothing.
+func RegisterRacy(k string) {
+	registerLocked(k) // want "without holding"
+}

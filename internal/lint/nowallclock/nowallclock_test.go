@@ -1,0 +1,12 @@
+package nowallclock_test
+
+import (
+	"testing"
+
+	"samft/internal/lint/linttest"
+	"samft/internal/lint/nowallclock"
+)
+
+func TestNoWallClock(t *testing.T) {
+	linttest.Run(t, nowallclock.Analyzer)
+}

@@ -1,0 +1,51 @@
+// Package clockuse exercises the nowallclock analyzer: banned wall-clock
+// reads, the legal timer constructors, and the //samlint:allow escape.
+package clockuse
+
+import (
+	"math/rand"
+	"time"
+)
+
+func badNow() int64 {
+	t := time.Now() // want "wall-clock time.Now"
+	return t.Unix()
+}
+
+func badSleep() {
+	time.Sleep(time.Millisecond) // want "wall-clock time.Sleep"
+}
+
+func badSince(t0 time.Time) float64 {
+	return time.Since(t0).Seconds() // want "wall-clock time.Since"
+}
+
+func badRand() int {
+	return rand.Intn(8) // want "math/rand.Intn"
+}
+
+// okTimer: After/NewTimer/NewTicker are legal — harness timeouts never
+// leak a timestamp into simulation state.
+func okTimer(timeout time.Duration) bool {
+	tm := time.NewTimer(timeout)
+	defer tm.Stop()
+	tick := time.NewTicker(time.Millisecond)
+	defer tick.Stop()
+	select {
+	case <-tm.C:
+		return false
+	case <-tick.C:
+		return true
+	}
+}
+
+// allowedNow: an annotated wall-clock read is suppressed.
+func allowedNow() int64 {
+	return time.Now().UnixNano() //samlint:allow wallclock -- diagnostic stamp
+}
+
+// allowedAbove: the directive may also sit on the line above.
+func allowedAbove() int64 {
+	//samlint:allow wallclock
+	return time.Now().UnixNano()
+}

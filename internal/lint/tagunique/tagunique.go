@@ -1,0 +1,200 @@
+// Package tagunique checks the module's message-tag namespace. PVM-style
+// src/tag matching silently mis-routes when two subsystems pick the same
+// tag value, and a tag below TagUserBase collides with the reserved
+// notification range — neither failure is caught at runtime, messages
+// just match the wrong receives. The analyzer collects every tag
+// constant (package-level consts named Tag*), rejects duplicate values
+// and below-base values, and checks that constant tag arguments at
+// Send/Recv/TryRecv/Probe call sites name a registered tag.
+package tagunique
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"samft/internal/lint/analysis"
+)
+
+// Analyzer is the tagunique check (module-scope: tag constants in one
+// package are matched against send sites in every other).
+var Analyzer = &analysis.Analyzer{
+	Name:        "tagunique",
+	ModuleScope: true,
+	Doc: "reject duplicate message-tag constant values, tags below " +
+		"TagUserBase, and Send/Recv call sites using unregistered tags",
+	Run: run,
+}
+
+// tagMethods maps checked method names to the index of their tag
+// argument: Send(dst, tag, payload), Recv/TryRecv/Probe(src, tag).
+var tagMethods = map[string]int{
+	"Send": 1, "Recv": 1, "TryRecv": 1, "Probe": 1,
+}
+
+// wildcardTag is the pvm.AnyTag / netsim.AnyTag value, legal in receive
+// positions only.
+const wildcardTag = -1
+
+type tagConst struct {
+	obj *types.Const
+	val int64
+}
+
+func run(pass *analysis.Pass) error {
+	tags, bases := collectTags(pass)
+
+	// Registered values: every sendable tag plus derived bases' own
+	// values are NOT registered (a base is an allocation origin, not a
+	// tag). Reserved system tags (TagTaskExit) are ordinary Tag*
+	// constants and register like any other.
+	registered := make(map[int64]bool, len(tags))
+	for _, tc := range tags {
+		registered[tc.val] = true
+	}
+
+	// Duplicate values: report every constant that reuses an
+	// already-claimed value (the first claimant, in position order, is
+	// the legitimate owner).
+	byVal := make(map[int64][]tagConst)
+	for _, tc := range tags {
+		byVal[tc.val] = append(byVal[tc.val], tc)
+	}
+	for _, group := range byVal {
+		if len(group) < 2 {
+			continue
+		}
+		sort.Slice(group, func(i, j int) bool { return group[i].obj.Pos() < group[j].obj.Pos() })
+		first := group[0]
+		for _, tc := range group[1:] {
+			pass.Reportf(tc.obj.Pos(),
+				"message tag %s = %d duplicates %s (tags must be unique across the module)",
+				tc.obj.Name(), tc.val, qualifiedName(first.obj))
+		}
+	}
+
+	// Below-base values: an application/SAM tag under TagUserBase lands
+	// in the reserved notification range. TagTaskExit is the one
+	// legitimate reserved tag.
+	if base, ok := userBase(bases); ok {
+		for _, tc := range tags {
+			if tc.val < base && tc.obj.Name() != "TagTaskExit" {
+				pass.Reportf(tc.obj.Pos(),
+					"message tag %s = %d is below TagUserBase (%d); only the reserved TagTaskExit may live there",
+					tc.obj.Name(), tc.val, base)
+			}
+		}
+	}
+
+	// Call sites: a constant tag argument must be a registered tag value
+	// (or the receive wildcard). Non-constant tags cannot be checked
+	// statically and pass.
+	for _, p := range pass.All {
+		checkCallSites(pass, p, registered)
+	}
+	return nil
+}
+
+// collectTags gathers package-level integer constants named Tag* from
+// every package. Constants whose name ends in "Base" are allocation
+// bases, returned separately — they are not sendable tags.
+func collectTags(pass *analysis.Pass) (tags, bases []tagConst) {
+	for _, p := range pass.All {
+		if p.Types == nil {
+			continue
+		}
+		scope := p.Types.Scope()
+		for _, name := range scope.Names() {
+			if !strings.HasPrefix(name, "Tag") && !strings.HasPrefix(name, "tag") {
+				continue
+			}
+			c, ok := scope.Lookup(name).(*types.Const)
+			if !ok {
+				continue
+			}
+			v, ok := constant.Int64Val(constant.ToInt(c.Val()))
+			if !ok {
+				continue
+			}
+			tc := tagConst{obj: c, val: v}
+			if strings.HasSuffix(name, "Base") {
+				bases = append(bases, tc)
+			} else {
+				tags = append(tags, tc)
+			}
+		}
+	}
+	sort.Slice(tags, func(i, j int) bool { return tags[i].obj.Pos() < tags[j].obj.Pos() })
+	return tags, bases
+}
+
+// userBase finds the TagUserBase constant, if the module declares one.
+func userBase(bases []tagConst) (int64, bool) {
+	for _, b := range bases {
+		if b.obj.Name() == "TagUserBase" {
+			return b.val, true
+		}
+	}
+	return 0, false
+}
+
+func checkCallSites(pass *analysis.Pass, p *analysis.Package, registered map[int64]bool) {
+	info := p.Info
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			idx, ok := tagMethods[sel.Sel.Name]
+			if !ok || len(call.Args) <= idx {
+				return true
+			}
+			// Only method calls count: a package-level Send is not a
+			// message send.
+			if info.Selections[sel] == nil {
+				return true
+			}
+			arg := call.Args[idx]
+			tv, ok := info.Types[arg]
+			if !ok || tv.Value == nil {
+				return true // dynamic tag: not statically checkable
+			}
+			v, ok := constant.Int64Val(constant.ToInt(tv.Value))
+			if !ok {
+				return true
+			}
+			if registered[v] {
+				return true
+			}
+			if v == wildcardTag {
+				if sel.Sel.Name == "Send" {
+					pass.Reportf(arg.Pos(), "Send with wildcard tag %d (AnyTag is receive-only)", v)
+				}
+				return true
+			}
+			reportUnregistered(pass, arg.Pos(), sel.Sel.Name, v)
+			return true
+		})
+	}
+}
+
+func reportUnregistered(pass *analysis.Pass, pos token.Pos, method string, v int64) {
+	pass.Reportf(pos,
+		"%s with unregistered tag value %d; declare a Tag* constant so the tag namespace stays collision-checked",
+		method, v)
+}
+
+func qualifiedName(c *types.Const) string {
+	if c.Pkg() != nil {
+		return c.Pkg().Name() + "." + c.Name()
+	}
+	return c.Name()
+}

@@ -1,0 +1,12 @@
+package tagunique_test
+
+import (
+	"testing"
+
+	"samft/internal/lint/linttest"
+	"samft/internal/lint/tagunique"
+)
+
+func TestTagUnique(t *testing.T) {
+	linttest.Run(t, tagunique.Analyzer)
+}

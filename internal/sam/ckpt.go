@@ -178,7 +178,8 @@ func (p *Proc) startTx() {
 	// checkpoint. Nonreproducible objects go inactive (ack + activate);
 	// reproducible ones go active immediately.
 	copyHolders := make(map[Name]map[int]bool)
-	for _, o := range p.objs {
+	for _, name := range sortedKeys(p.objs) {
+		o := p.objs[name]
 		if !o.isMain || !o.created || o.state != stPresent {
 			continue
 		}
@@ -361,7 +362,7 @@ func (p *Proc) commitTx() {
 			p.send(p.home(m.name), &wire{Kind: kAccOwner, Name: uint64(m.name), Target: m.target})
 		}
 	}
-	for r := range tx.inactive {
+	for _, r := range sortedKeys(tx.inactive) {
 		p.send(r, &wire{Kind: kActivate, Seq: tx.seq})
 	}
 	for _, sf := range tx.staleFrees {
@@ -440,7 +441,7 @@ func (p *Proc) retryFrees() {
 		return
 	}
 	var freed []Name
-	for name := range p.freePending {
+	for _, name := range sortedKeys(p.freePending) {
 		o := p.objs[name]
 		if o == nil {
 			freed = append(freed, name)
@@ -462,7 +463,7 @@ func (p *Proc) retryFrees() {
 // forceOldestFrees sends force-checkpoint messages for backlogged
 // freeable objects (modeled cache replacement).
 func (p *Proc) forceOldestFrees() {
-	for name := range p.freePending {
+	for _, name := range sortedKeys(p.freePending) {
 		o := p.objs[name]
 		if o == nil || o.forcedSent {
 			continue
@@ -612,7 +613,8 @@ func (p *Proc) onActivate(w *wire) {
 			p.privStoreSeq[w.SrcRank] = st.Seq
 		}
 	}
-	for _, o := range p.objs {
+	for _, name := range sortedKeys(p.objs) {
+		o := p.objs[name]
 		if o.state == stInactive && o.inactiveFrom == w.SrcRank && o.inactiveSeq == w.Seq {
 			o.state = stPresent
 			o.fetchOutstanding = false

@@ -1,0 +1,20 @@
+package sam
+
+import (
+	"cmp"
+	"slices"
+)
+
+// sortedKeys snapshots m's keys in ascending order. Loops that send
+// messages, emit trace events, or build wire payloads iterate this
+// instead of the map directly: Go randomizes map order per run, and a
+// map-ordered wire or trace breaks run-to-run reproducibility (enforced
+// by the detiter analyzer in internal/lint).
+func sortedKeys[K cmp.Ordered, V any](m map[K]V) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}

@@ -222,12 +222,12 @@ func (p *Proc) installNewIncarnation(rank int, newTID netsim.TID) {
 	// hint died (possibly with our query in its mailbox), ask its
 	// replacement once it is up.
 	if p.cfg.Recovering && p.orphansDecided {
-		for name := range p.orphanHints {
+		for _, name := range sortedKeys(p.orphanHints) {
 			if p.home(name) == rank && !p.ownerConfirmed[name] {
 				p.sendOwnerQuery(name)
 			}
 		}
-		for name := range p.unconfirmedData {
+		for _, name := range sortedKeys(p.unconfirmedData) {
 			if p.home(name) == rank && !p.ownerConfirmed[name] {
 				p.sendOwnerQuery(name)
 			}
@@ -290,7 +290,8 @@ func (p *Proc) contributeRecovery(rank int) {
 		}
 	}
 
-	for _, o := range p.objs {
+	for _, name := range sortedKeys(p.objs) {
+		o := p.objs[name]
 		// Checkpoint copies whose main copy was at the failed process:
 		// restore them (the new process again holds the main copy).
 		if o.ckptCopy && o.copyOwner == rank {
@@ -360,7 +361,8 @@ func (p *Proc) contributeRecovery(rank int) {
 	// release-and-migrate. As the home, also confirm to the new process
 	// which objects it owns — recovery data for objects acquired after
 	// its last checkpoint is only installed once confirmed.
-	for _, d := range p.dir {
+	for _, name := range sortedKeys(p.dir) {
+		d := p.dir[name]
 		if d.known && d.owner == rank {
 			p.send(rank, &wire{Kind: kOwnerReport, Name: uint64(d.name)})
 		}
@@ -393,7 +395,8 @@ func (p *Proc) contributeRecovery(rank int) {
 // only by dropped inactive data are re-issued.
 func (p *Proc) dropProvisionalFrom(rank int) {
 	delete(p.privStaging, rank)
-	for _, o := range p.objs {
+	for _, name := range sortedKeys(p.objs) {
+		o := p.objs[name]
 		if o.pendingCopy != nil && o.pendingCopy.SrcRank == rank {
 			o.pendingCopy = nil
 		}
@@ -558,7 +561,7 @@ func (p *Proc) decideOrphans() {
 	if p.rec != nil {
 		p.emit(trace.Event{Kind: trace.SamRecDir, Aux: int64(len(names))})
 	}
-	for name := range names {
+	for _, name := range sortedKeys(names) {
 		if o := p.objs[name]; o != nil && o.isMain && o.created {
 			continue
 		}
@@ -703,7 +706,8 @@ func (p *Proc) checkRestoreComplete() {
 	// before our next checkpoint, the re-replication path needs the bytes.
 	p.lastPrivBytes = rs.privBytes
 
-	for name, w := range rs.data {
+	for _, name := range sortedKeys(rs.data) {
+		w := rs.data[name]
 		if m, ok := metaFor[name]; ok {
 			p.installRecoveredMain(w, &m)
 		} else {

@@ -322,14 +322,15 @@ func (p *Proc) flushUseNotices() {
 	for _, o := range p.objs {
 		p.noteUse(o)
 	}
-	for owner, m := range p.useNotices {
+	for _, owner := range sortedKeys(p.useNotices) {
+		m := p.useNotices[owner]
 		if len(m) == 0 {
 			continue
 		}
 		w := &wire{Kind: kValUsed}
-		for n, cnt := range m {
+		for _, n := range sortedKeys(m) {
 			w.Names = append(w.Names, uint64(n))
-			w.Counts = append(w.Counts, cnt)
+			w.Counts = append(w.Counts, m[n])
 		}
 		p.send(owner, w)
 		delete(p.useNotices, owner)

@@ -101,7 +101,9 @@ func (r *Recorder) Emit(e Event) {
 		return
 	}
 	if e.WallNS == 0 {
-		e.WallNS = time.Now().UnixNano()
+		// Diagnostic host timestamp only: merged timelines order and
+		// tie-break on virtual time (VirtUS, Seq), never on WallNS.
+		e.WallNS = time.Now().UnixNano() //samlint:allow wallclock -- diagnostic timestamp, never ordering
 	}
 	r.mu.Lock()
 	e.Seq = r.next
