@@ -40,6 +40,9 @@ func main() {
 	seed := flag.Uint64("seed", 1, "chaos master seed (reproduces a sweep exactly)")
 	schedules := flag.Int("schedules", 20, "chaos kill schedules per application")
 	traceDir := flag.String("trace", "", "dump virtual-time traces (Chrome JSON + recovery report) under this directory")
+	jsonFlag := flag.Bool("json", false, "emit the benchmark trajectory file (BENCH_<date>.json) instead of figures")
+	outFlag := flag.String("out", "", "output path for -json (default BENCH_<date>.json)")
+	baselineFlag := flag.String("baseline", "", "committed BENCH_*.json to gate against: fail on >20% msgs/s regression")
 	flag.Parse()
 	if *chaosFlag {
 		*exp = "chaos"
@@ -55,6 +58,12 @@ func main() {
 	}
 	if *par > 0 {
 		experiments.SetParallelism(*par)
+	}
+	if *jsonFlag {
+		if err := benchJSON(*outFlag, *baselineFlag, *scaleFlag, scale, procs); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	run := func(name string, f func() error) {

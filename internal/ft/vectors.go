@@ -29,6 +29,10 @@ type Clocks struct {
 	T    []int64
 	C    []int64
 	D    []int64
+	// delta is the sender-side bookkeeping for delta-encoded piggybacks
+	// (see delta.go). Every T-entry change must go through delta.touch so
+	// incremental stamps stay lossless.
+	delta deltaState
 }
 
 // Stamp is the piggyback attached to every fault-tolerance message. For a
@@ -46,10 +50,11 @@ type Stamp struct {
 // NewClocks returns the zeroed bookkeeping for process self of n.
 func NewClocks(self, n int) *Clocks {
 	return &Clocks{
-		self: self,
-		T:    make([]int64, n),
-		C:    make([]int64, n),
-		D:    make([]int64, n),
+		self:  self,
+		T:     make([]int64, n),
+		C:     make([]int64, n),
+		D:     make([]int64, n),
+		delta: newDeltaState(n),
 	}
 }
 
@@ -66,6 +71,7 @@ func (c *Clocks) Now() int64 { return c.T[c.self] }
 // Call it at each checkpoint and at each free of an owned object.
 func (c *Clocks) Tick() int64 {
 	c.T[c.self]++
+	c.delta.touch(c.self)
 	return c.T[c.self]
 }
 
@@ -102,16 +108,23 @@ func (c *Clocks) Absorb(s Stamp) {
 	if s.From < 0 || s.From >= len(c.T) || s.From == c.self {
 		return
 	}
-	for j, v := range s.T {
+	c.absorbVector(s.T)
+	if s.CForDst > c.D[s.From] {
+		c.D[s.From] = s.CForDst
+	}
+}
+
+// absorbVector max-merges a full T vector (except our own entry, which
+// only we advance), routing changes through the delta tracker.
+func (c *Clocks) absorbVector(t []int64) {
+	for j, v := range t {
 		if j == c.self || j >= len(c.T) {
 			continue
 		}
 		if v > c.T[j] {
 			c.T[j] = v
+			c.delta.touch(j)
 		}
-	}
-	if s.CForDst > c.D[s.From] {
-		c.D[s.From] = s.CForDst
 	}
 }
 
@@ -166,9 +179,12 @@ func (c *Clocks) Snapshot() (t, cc, d []int64) {
 	return
 }
 
-// Restore overwrites the vectors from a private-state checkpoint.
+// Restore overwrites the vectors from a private-state checkpoint. The
+// delta tracker treats this as everything-changed and forgets all
+// high-water marks, so post-restore stamps are full vectors.
 func (c *Clocks) Restore(t, cc, d []int64) {
 	copy(c.T, t)
 	copy(c.C, cc)
 	copy(c.D, d)
+	c.delta.touchAll()
 }

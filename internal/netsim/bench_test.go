@@ -1,0 +1,30 @@
+package netsim_test
+
+import (
+	"fmt"
+	"testing"
+
+	"samft/internal/benchkit"
+)
+
+// The benchmark bodies live in internal/benchkit so that `ftbench
+// -json` can drive the very same loops through testing.Benchmark when
+// it emits the committed trajectory file; these wrappers keep them
+// runnable with plain `go test -bench`.
+
+func BenchmarkSendRecv(b *testing.B)      { benchkit.SendRecv(b) }
+func BenchmarkSendRecvExact(b *testing.B) { benchkit.SendRecvExact(b) }
+
+func BenchmarkMatchDeepQueue(b *testing.B) {
+	for _, depth := range []int{16, 256, 1024} {
+		b.Run(fmt.Sprintf("depth%d", depth), benchkit.MatchDeepQueue(depth))
+	}
+}
+
+// BenchmarkAllToAll64 is the 64-process all-to-all exchange from the
+// ISSUE 6 acceptance criteria; BenchmarkAllToAll8 is the paper-scale
+// (8 workstations) variant for the scaling comparison.
+func BenchmarkAllToAll64(b *testing.B) { benchkit.AllToAll(64, 4)(b) }
+func BenchmarkAllToAll8(b *testing.B)  { benchkit.AllToAll(8, 4)(b) }
+
+func BenchmarkFanIn(b *testing.B) { benchkit.FanIn(b) }

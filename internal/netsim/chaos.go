@@ -181,9 +181,7 @@ func (n *Network) CheckClockTriggers() {
 		return
 	}
 	due := n.chaos.clockDue(func(tid TID) (float64, bool) {
-		n.mu.Lock()
-		e := n.endpoints[tid]
-		n.mu.Unlock()
+		e := n.route(tid)
 		if e == nil {
 			return 0, false
 		}

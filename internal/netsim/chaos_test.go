@@ -83,8 +83,8 @@ func TestChaosJitterPerturbsArrivalReproducibly(t *testing.T) {
 			if err := a.Send(b.TID(), 7, []byte("payload")); err != nil {
 				t.Fatalf("send: %v", err)
 			}
-			m, err := b.TryRecv(AnySrc, 7)
-			if err != nil || m == nil {
+			m, ok, err := b.TryRecv(AnySrc, 7)
+			if err != nil || !ok {
 				t.Fatalf("recv: %v %v", m, err)
 			}
 			arrivals = append(arrivals, m.ArrivalUS)
@@ -116,7 +116,7 @@ func TestChaosJitterPerturbsArrivalReproducibly(t *testing.T) {
 	if err := a.Send(b.TID(), 7, []byte("xy")); err != nil {
 		t.Fatalf("send: %v", err)
 	}
-	m, _ := b.TryRecv(AnySrc, 7)
+	m, _, _ := b.TryRecv(AnySrc, 7)
 	min := cost.SendOverheadUS + cost.TransferUS(2)
 	if m.ArrivalUS < min || m.ArrivalUS >= min+50 {
 		t.Fatalf("jittered arrival %v outside [%v, %v)", m.ArrivalUS, min, min+50)
@@ -142,8 +142,8 @@ func TestChaosDropNotifyNeverDropsAll(t *testing.T) {
 			delivered := 0
 			for _, w := range eps[1:] {
 				for {
-					m, err := w.TryRecv(AnySrc, 1)
-					if err != nil || m == nil {
+					_, ok, err := w.TryRecv(AnySrc, 1)
+					if err != nil || !ok {
 						break
 					}
 					delivered++
@@ -180,8 +180,8 @@ func TestChaosDropNotifyDeadWatcherDoesNotAbsorbGuarantee(t *testing.T) {
 
 			got := 0
 			for {
-				m, err := liveWatcher.TryRecv(victim.TID(), 1)
-				if err != nil || m == nil {
+				_, ok, err := liveWatcher.TryRecv(victim.TID(), 1)
+				if err != nil || !ok {
 					break
 				}
 				got++
@@ -209,8 +209,8 @@ func TestChaosDupNotifyDuplicatesSome(t *testing.T) {
 		for _, w := range eps[1:] {
 			got := 0
 			for {
-				m, err := w.TryRecv(AnySrc, 1)
-				if err != nil || m == nil {
+				_, ok, err := w.TryRecv(AnySrc, 1)
+				if err != nil || !ok {
 					break
 				}
 				got++
@@ -241,8 +241,8 @@ func TestNotifyOnDeadTargetDeliversImmediately(t *testing.T) {
 
 	n.Kill(victim.TID(), 1)
 	n.Notify(w.TID(), victim.TID(), 1)
-	m, err := w.TryRecv(AnySrc, 1)
-	if err != nil || m == nil {
+	m, ok, err := w.TryRecv(AnySrc, 1)
+	if err != nil || !ok {
 		t.Fatalf("no immediate exit for a dead target: %v %v", m, err)
 	}
 	if dead, _ := ParseExitPayload(m.Payload); dead != victim.TID() {
@@ -251,7 +251,7 @@ func TestNotifyOnDeadTargetDeliversImmediately(t *testing.T) {
 
 	// Unknown target: same immediate delivery.
 	n.Notify(w.TID(), TID(9999), 1)
-	if m, _ := w.TryRecv(AnySrc, 1); m == nil {
+	if _, ok, _ := w.TryRecv(AnySrc, 1); !ok {
 		t.Fatal("no immediate exit for an unknown target")
 	}
 }
@@ -276,11 +276,11 @@ func TestNotifyKillRaceNeverLosesNotification(t *testing.T) {
 			n.Kill(victim.TID(), 1)
 		}()
 		wg.Wait()
-		m, err := w.TryRecv(AnySrc, 1)
-		if err != nil || m == nil {
+		_, ok, err := w.TryRecv(AnySrc, 1)
+		if err != nil || !ok {
 			t.Fatalf("iter %d: exit notification lost in the Notify/Kill race", i)
 		}
-		if extra, _ := w.TryRecv(AnySrc, 1); extra != nil {
+		if _, extra, _ := w.TryRecv(AnySrc, 1); extra {
 			t.Fatalf("iter %d: duplicate exit notification without DupNotify", i)
 		}
 		n.Close()

@@ -1,7 +1,9 @@
 package netsim
 
 import (
+	"math"
 	"sync"
+	"sync/atomic"
 
 	"samft/internal/trace"
 )
@@ -11,26 +13,79 @@ import (
 //
 // An endpoint is intended to be driven by the goroutines of a single
 // simulated process, but all methods are safe for concurrent use.
+//
+// Hot-path state is lock-free where it can be: liveness (dead/closed),
+// the modeled clock, and the traffic counters are atomics, so Stats,
+// liveness probes, and the sender-side bookkeeping of Send never take a
+// lock. Delivery appends the message (by value) to the receiver's queue
+// under its mutex — a critical section of a few instructions — and all
+// matching work happens on the receiver's side: a message is indexed
+// into the (src, tag) mailbox only when a receive scans past it, so in
+// the keep-up steady state (receives as fast as sends) messages are
+// matched straight out of the queue and never touch the index at all.
 type Endpoint struct {
 	net *Network
 	tid TID
 
-	mu     sync.Mutex
-	cond   *sync.Cond
-	queue  []*Message // undelivered messages in arrival order
-	dead   bool
-	closed bool // network shut down
+	// state packs the liveness flags (stateDead | stateClosed) into one
+	// word so the hot paths pay a single load. The dead bit is the kill
+	// commit point: it is set (atomically, no lock) while Network.Kill
+	// holds the network mutex, so Notify — also under the network mutex —
+	// observes kills atomically without nesting endpoint locks under it.
+	state atomic.Uint32
 
-	clockUS float64 // modeled local time, microseconds
+	// clockBits is the modeled local time in microseconds (float64 bits),
+	// advanced with CAS so Charge/Send/AdvanceTo need no lock.
+	clockBits atomic.Uint64
 
-	stats EndpointStats
+	// sent and recvd pack a message count (high 28 bits) and a byte count
+	// (low 36 bits) into one word, so the steady-state path pays a single
+	// atomic add per direction. The split caps an endpoint's lifetime
+	// statistics at 268M messages and 64 GB of modeled traffic — orders
+	// of magnitude beyond any simulation run — after which only the
+	// counters (not delivery) would be wrong.
+	sent  atomic.Uint64
+	recvd atomic.Uint64
 
+	// Cost-model scalars copied from the network at registration, so the
+	// per-message paths read plain fields instead of chasing pointers.
+	sendOvUS  float64
+	recvOvUS  float64
+	latencyUS float64
+	usPerByte float64
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	// queue holds delivered messages by value in arrival order. Senders
+	// append under mu; the receiver scans from qHead, moving messages it
+	// skips into the indexed mailbox (mbox) so no message is scanned
+	// twice. Consumed and skipped entries are zeroed to release payload
+	// references; the slice is reset when fully drained, so its capacity
+	// converges on the endpoint's in-flight high-water mark.
+	queue   []Message
+	qHead   int  // first unscanned entry
+	waiting bool // a receiver is parked in cond.Wait
+	mbox    *mailbox
 	// rec is this endpoint's trace track; nil when tracing is disabled,
 	// making every instrumentation site a single-branch no-op.
 	rec *trace.Recorder
 }
 
-// EndpointStats counts traffic through an endpoint.
+// statCountShift splits the packed traffic counters: count above, bytes
+// below.
+const (
+	statBytesBits = 36
+	statBytesMask = 1<<statBytesBits - 1
+	statOneMsg    = 1 << statBytesBits
+)
+
+// Endpoint.state bits.
+const (
+	stateDead   = 1 << iota // killed; messages drop, operations fail
+	stateClosed             // network shut down
+)
+
+// EndpointStats is a snapshot of an endpoint's traffic counters.
 type EndpointStats struct {
 	MsgsSent  int64
 	MsgsRecvd int64
@@ -39,7 +94,13 @@ type EndpointStats struct {
 }
 
 func newEndpoint(n *Network, tid TID) *Endpoint {
-	e := &Endpoint{net: n, tid: tid}
+	e := &Endpoint{
+		net: n, tid: tid, mbox: newMailbox(),
+		sendOvUS:  n.cfg.Cost.SendOverheadUS,
+		recvOvUS:  n.cfg.Cost.RecvOverheadUS,
+		latencyUS: n.cfg.Cost.LatencyUS,
+		usPerByte: n.usPerByte,
+	}
 	e.cond = sync.NewCond(&e.mu)
 	return e
 }
@@ -55,39 +116,87 @@ func (e *Endpoint) TraceRecorder() *trace.Recorder { return e.rec }
 // Network returns the owning network.
 func (e *Endpoint) Network() *Network { return e.net }
 
-// Stats returns a snapshot of the endpoint's traffic counters.
+// Stats returns a snapshot of the endpoint's traffic counters without
+// taking any lock.
 func (e *Endpoint) Stats() EndpointStats {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.stats
+	s, r := e.sent.Load(), e.recvd.Load()
+	return EndpointStats{
+		MsgsSent:  int64(s >> statBytesBits),
+		MsgsRecvd: int64(r >> statBytesBits),
+		BytesSent: int64(s & statBytesMask),
+		BytesRecv: int64(r & statBytesMask),
+	}
 }
 
-func (e *Endpoint) isDead() bool {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.dead
+// isDead reports the kill flag; lock-free so Network methods may call it
+// while holding the network mutex.
+func (e *Endpoint) isDead() bool { return e.state.Load()&stateDead != 0 }
+
+// setState ORs bits into the state word (atomic.Uint32 has no Or until a
+// later Go release; these are cold paths).
+func (e *Endpoint) setState(bits uint32) {
+	for {
+		old := e.state.Load()
+		if old&bits == bits || e.state.CompareAndSwap(old, old|bits) {
+			return
+		}
+	}
 }
 
-func (e *Endpoint) kill() {
+// markDead sets the kill commit point. Called by Network.Kill while
+// holding the network mutex (an atomic update, so no lock nesting); from
+// that instant deliveries drop and senders see ErrKilled.
+func (e *Endpoint) markDead() { e.setState(stateDead) }
+
+// finishKill completes a kill after the network mutex has been released:
+// queued messages are dropped and blocked receivers wake to observe the
+// dead flag. Delivery checks the flag under mu, which this drain also
+// holds: either a racing delivery lands before the drain and is dropped
+// with it, or it observes the dead flag — never neither.
+func (e *Endpoint) finishKill() {
 	e.mu.Lock()
-	e.dead = true
 	e.queue = nil
+	e.qHead = 0
+	e.waiting = false
+	e.mbox.clear()
 	e.cond.Broadcast()
 	e.mu.Unlock()
 }
 
 func (e *Endpoint) closeNetwork() {
+	e.setState(stateClosed)
 	e.mu.Lock()
-	e.closed = true
 	e.cond.Broadcast()
 	e.mu.Unlock()
 }
 
 // ClockUS returns the endpoint's modeled local time in microseconds.
 func (e *Endpoint) ClockUS() float64 {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.clockUS
+	return math.Float64frombits(e.clockBits.Load())
+}
+
+// addClock advances the modeled clock by us and returns the new time.
+func (e *Endpoint) addClock(us float64) float64 {
+	for {
+		old := e.clockBits.Load()
+		now := math.Float64frombits(old) + us
+		if e.clockBits.CompareAndSwap(old, math.Float64bits(now)) {
+			return now
+		}
+	}
+}
+
+// raiseClock moves the modeled clock forward to at least us.
+func (e *Endpoint) raiseClock(us float64) {
+	for {
+		old := e.clockBits.Load()
+		if math.Float64frombits(old) >= us {
+			return
+		}
+		if e.clockBits.CompareAndSwap(old, math.Float64bits(us)) {
+			return
+		}
+	}
 }
 
 // Charge advances the modeled clock by us microseconds of local
@@ -96,44 +205,32 @@ func (e *Endpoint) Charge(us float64) {
 	if us <= 0 {
 		return
 	}
-	e.mu.Lock()
-	e.clockUS += us
-	e.mu.Unlock()
+	e.addClock(us)
 }
 
 // AdvanceTo moves the modeled clock forward to at least us. Used when a
 // message arrives from a process whose clock is ahead.
-func (e *Endpoint) AdvanceTo(us float64) {
-	e.mu.Lock()
-	if us > e.clockUS {
-		e.clockUS = us
-	}
-	e.mu.Unlock()
-}
+func (e *Endpoint) AdvanceTo(us float64) { e.raiseClock(us) }
 
 // Send transmits a payload to dst. The payload is not copied; the caller
 // must not modify it afterwards (the pvm layer always hands over freshly
 // packed buffers). Sending to a dead endpoint silently drops the message —
 // exactly what a network does when a workstation has crashed — but sending
 // to a TID that never existed is an error.
+//
+// The steady-state path is allocation-free: routing is an index into the
+// copy-on-write routing slice, the message travels by value through the
+// receiver's queue, and matching-side bookkeeping uses pooled nodes.
 func (e *Endpoint) Send(dst TID, tag int, payload []byte) error {
-	cost := e.net.cfg.Cost
-
-	e.mu.Lock()
-	if e.dead {
-		e.mu.Unlock()
-		return ErrKilled
-	}
-	if e.closed {
-		e.mu.Unlock()
+	if s := e.state.Load(); s != 0 {
+		if s&stateDead != 0 {
+			return ErrKilled
+		}
 		return ErrClosed
 	}
-	e.clockUS += cost.SendOverheadUS
-	arrival := e.clockUS + cost.TransferUS(len(payload))
-	senderClock := e.clockUS
-	e.stats.MsgsSent++
-	e.stats.BytesSent += int64(len(payload))
-	e.mu.Unlock()
+	senderClock := e.addClock(e.sendOvUS)
+	arrival := senderClock + e.latencyUS + float64(len(payload))*e.usPerByte
+	e.sent.Add(statOneMsg + uint64(len(payload)))
 
 	// Chaos hooks: seeded per-message jitter perturbs the arrival time,
 	// and this send may push a message-count or modeled-time kill trigger
@@ -160,10 +257,8 @@ func (e *Endpoint) Send(dst TID, tag int, payload []byte) error {
 		})
 	}
 
-	e.net.mu.Lock()
-	target, known := e.net.endpoints[dst]
-	e.net.mu.Unlock()
-	if !known {
+	target := e.net.route(dst)
+	if target == nil {
 		if e.rec != nil {
 			e.rec.Emit(trace.Event{
 				Kind: trace.NetDrop, VirtUS: senderClock, Rank: -1,
@@ -174,7 +269,7 @@ func (e *Endpoint) Send(dst TID, tag int, payload []byte) error {
 		return ErrUnknownDest
 	}
 	// deliver is a no-op on a dead endpoint: the message vanishes.
-	if !target.deliver(&Message{Src: e.tid, Dst: dst, Tag: tag, ID: msgID, Payload: payload, ArrivalUS: arrival}) && e.rec != nil {
+	if !target.deliver(e.tid, dst, tag, msgID, payload, arrival) && e.rec != nil {
 		e.rec.Emit(trace.Event{
 			Kind: trace.NetDrop, VirtUS: senderClock, Rank: -1,
 			Src: int64(e.tid), Dst: int64(dst), Tag: tag,
@@ -185,16 +280,25 @@ func (e *Endpoint) Send(dst TID, tag int, payload []byte) error {
 }
 
 // deliver queues a message, reporting whether it was accepted (false on a
-// dead or closed endpoint, where the message vanishes).
-func (e *Endpoint) deliver(m *Message) bool {
+// dead or closed endpoint, where the message vanishes). The wakeup runs
+// after the unlock — legal because a receiver takes its notify ticket
+// (inside cond.Wait) before releasing mu, so a sender that observed
+// waiting under mu is guaranteed its Broadcast reaches the parked
+// receiver — and desirable because the woken receiver does not slam into
+// a still-held mutex.
+func (e *Endpoint) deliver(src, dst TID, tag int, id int64, payload []byte, arrival float64) bool {
 	e.mu.Lock()
-	if e.dead || e.closed {
+	if e.state.Load() != 0 {
 		e.mu.Unlock()
 		return false
 	}
-	e.queue = append(e.queue, m)
-	e.cond.Broadcast()
+	e.queue = append(e.queue, Message{Src: src, Dst: dst, Tag: tag, ID: id, Payload: payload, ArrivalUS: arrival})
+	wake := e.waiting
+	e.waiting = false
 	e.mu.Unlock()
+	if wake {
+		e.cond.Broadcast()
+	}
 	return true
 }
 
@@ -206,13 +310,17 @@ func (e *Endpoint) deliver(m *Message) bool {
 // guarantee at least one live watcher observes a kill.
 func (e *Endpoint) deliverExit(m *Message) bool {
 	e.mu.Lock()
-	if e.dead {
+	if e.state.Load()&stateDead != 0 {
 		e.mu.Unlock()
 		return false
 	}
-	e.queue = append(e.queue, m)
-	e.cond.Broadcast()
+	e.queue = append(e.queue, *m)
+	wake := e.waiting
+	e.waiting = false
 	e.mu.Unlock()
+	if wake {
+		e.cond.Broadcast()
+	}
 	if e.rec != nil {
 		e.rec.Emit(trace.Event{
 			Kind: trace.NetExit, VirtUS: e.ClockUS(), Rank: -1,
@@ -222,39 +330,104 @@ func (e *Endpoint) deliverExit(m *Message) bool {
 	return true
 }
 
-// match returns the index of the first queued message matching src/tag
-// (with AnySrc/AnyTag wildcards), or -1.
-func (e *Endpoint) match(src TID, tag int) int {
-	for i, m := range e.queue {
-		if (src == AnySrc || m.Src == src) && (tag == AnyTag || m.Tag == tag) {
-			return i
+// fetch finds, removes, and returns (into out) the first message matching
+// (src, tag) in arrival order. Called with mu held.
+//
+// Arrival order is: indexed mailbox (oldest), then the unscanned queue
+// suffix. The invariant that makes this a total order is that a message
+// is only ever indexed when a fetch scans past it, so every indexed
+// message is older than every unscanned one. A fetch therefore first
+// consults the pattern's index list, then scans the queue — indexing the
+// messages it skips, so no message is ever scanned twice. In the keep-up
+// steady state the index stays empty and matches come straight off the
+// scan, costing a comparison or two and no index maintenance.
+func (e *Endpoint) fetch(src TID, tag int, out *Message) bool {
+	if e.mbox.count != 0 {
+		if l := e.mbox.lookup(src, tag); l != nil && l.head != nil {
+			e.mbox.take(l.head, out)
+			return true
 		}
 	}
-	return -1
+	// A mid-queue match leaves a consumed (zeroed) prefix behind; compact
+	// once it dominates so the queue's footprint tracks the in-flight
+	// message count rather than the total ever received.
+	if e.qHead > 32 && e.qHead*2 > len(e.queue) {
+		n := copy(e.queue, e.queue[e.qHead:])
+		clearTail := e.queue[n:]
+		for i := range clearTail {
+			clearTail[i] = Message{}
+		}
+		e.queue = e.queue[:n]
+		e.qHead = 0
+	}
+	for e.qHead < len(e.queue) {
+		m := &e.queue[e.qHead]
+		e.qHead++
+		if matches(m, src, tag) {
+			*out = *m
+			*m = Message{}
+			if e.qHead == len(e.queue) {
+				e.queue = e.queue[:0]
+				e.qHead = 0
+			}
+			return true
+		}
+		e.mbox.push(m)
+		*m = Message{}
+	}
+	e.queue = e.queue[:0]
+	e.qHead = 0
+	return false
 }
 
-func (e *Endpoint) take(i int) *Message {
-	m := e.queue[i]
-	e.queue = append(e.queue[:i], e.queue[i+1:]...)
-	e.stats.MsgsRecvd++
-	e.stats.BytesRecv += int64(len(m.Payload))
-	// Receiving synchronizes the modeled clocks: the receiver cannot have
-	// processed the message before it arrived.
-	if m.ArrivalUS > e.clockUS {
-		e.clockUS = m.ArrivalUS
+func matches(m *Message, src TID, tag int) bool {
+	return (src == AnySrc || m.Src == src) && (tag == AnyTag || m.Tag == tag)
+}
+
+// drainAll indexes every queued message into the mailbox, for callers
+// that need a complete view without consuming (Probe, Pending). Called
+// with mu held.
+func (e *Endpoint) drainAll() {
+	for e.qHead < len(e.queue) {
+		m := &e.queue[e.qHead]
+		e.qHead++
+		e.mbox.push(m)
+		*m = Message{}
 	}
-	e.clockUS += e.net.cfg.Cost.RecvOverheadUS
+	e.queue = e.queue[:0]
+	e.qHead = 0
+}
+
+// consume finalizes a matched message: traffic counters, modeled-clock
+// synchronization, and the receive trace event. Everything it touches is
+// an atomic or the recorder's own leaf lock, so callers run it after
+// releasing mu — the receiver's critical section covers only the match
+// itself.
+func (e *Endpoint) consume(m *Message) {
+	e.recvd.Add(statOneMsg + uint64(len(m.Payload)))
+	// Receiving synchronizes the modeled clocks: the receiver cannot have
+	// processed the message before it arrived. One CAS folds the
+	// raise-to-arrival and the receive overhead together.
+	ov := e.recvOvUS
+	var now float64
+	for {
+		old := e.clockBits.Load()
+		t := math.Float64frombits(old)
+		if t < m.ArrivalUS {
+			t = m.ArrivalUS
+		}
+		now = t + ov
+		if e.clockBits.CompareAndSwap(old, math.Float64bits(now)) {
+			break
+		}
+	}
 	if e.rec != nil {
-		// The recorder's mutex is a leaf lock, so emitting under e.mu is
-		// safe; it keeps the receive stamp consistent with the clock sync
-		// performed just above.
 		e.rec.Emit(trace.Event{
-			Kind: trace.NetRecv, VirtUS: e.clockUS, Rank: -1,
+			Kind: trace.NetRecv, VirtUS: now, Rank: -1,
 			Src: int64(m.Src), Dst: int64(e.tid), Tag: m.Tag,
 			Bytes: len(m.Payload), MsgID: m.ID,
 		})
 	}
-	return m
 }
 
 // Recv blocks until a message matching src/tag is available and returns it.
@@ -263,51 +436,63 @@ func (e *Endpoint) take(i int) *Message {
 // exit notifications delivered during teardown) are matched before the
 // closed state is reported, so a subscriber can drain notifications it
 // was promised even while the machine halts.
-func (e *Endpoint) Recv(src TID, tag int) (*Message, error) {
+func (e *Endpoint) Recv(src TID, tag int) (Message, error) {
+	var m Message
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	for {
-		if e.dead {
-			return nil, ErrKilled
+		if e.state.Load()&stateDead != 0 {
+			e.mu.Unlock()
+			return Message{}, ErrKilled
 		}
-		if i := e.match(src, tag); i >= 0 {
-			return e.take(i), nil
+		if e.fetch(src, tag, &m) {
+			e.mu.Unlock()
+			e.consume(&m)
+			return m, nil
 		}
-		if e.closed {
-			return nil, ErrClosed
+		if e.state.Load()&stateClosed != 0 {
+			e.mu.Unlock()
+			return Message{}, ErrClosed
 		}
+		e.waiting = true
 		e.cond.Wait()
 	}
 }
 
-// TryRecv returns a matching message if one is queued, else (nil, nil).
-// The error reports killed/closed states; like Recv, queued matches win
-// over ErrClosed.
-func (e *Endpoint) TryRecv(src TID, tag int) (*Message, error) {
+// TryRecv returns a matching message if one is queued (ok reports whether
+// it did). The error reports killed/closed states; like Recv, queued
+// matches win over ErrClosed.
+func (e *Endpoint) TryRecv(src TID, tag int) (Message, bool, error) {
+	var m Message
 	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.dead {
-		return nil, ErrKilled
+	if e.state.Load()&stateDead != 0 {
+		e.mu.Unlock()
+		return Message{}, false, ErrKilled
 	}
-	if i := e.match(src, tag); i >= 0 {
-		return e.take(i), nil
+	if e.fetch(src, tag, &m) {
+		e.mu.Unlock()
+		e.consume(&m)
+		return m, true, nil
 	}
-	if e.closed {
-		return nil, ErrClosed
+	closed := e.state.Load()&stateClosed != 0
+	e.mu.Unlock()
+	if closed {
+		return Message{}, false, ErrClosed
 	}
-	return nil, nil
+	return Message{}, false, nil
 }
 
 // Probe reports whether a matching message is queued, without consuming it.
 func (e *Endpoint) Probe(src TID, tag int) bool {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.match(src, tag) >= 0
+	e.drainAll()
+	return e.mbox.peek(src, tag)
 }
 
 // Pending returns the number of queued messages. Intended for tests.
 func (e *Endpoint) Pending() int {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return len(e.queue)
+	e.drainAll()
+	return e.mbox.count
 }

@@ -1,0 +1,332 @@
+package netsim
+
+// mailbox is an indexed message store with PVM-style (src, tag) matching.
+//
+// The old implementation kept one []*Message in arrival order and matched
+// by linear scan, which makes every exact-match receive O(queue). At
+// thousands of processes a home-rank endpoint holds deep queues, so
+// matching has to be O(1) regardless of pattern — and because the whole
+// simulation may share one core, the constant factor matters as much as
+// the asymptotics. Three choices follow from that:
+//
+//   - Messages are stored BY VALUE in pooled nodes. The steady-state
+//     enqueue/match path performs zero heap allocations; the only
+//     allocation a message ever causes is its payload, made by the
+//     sender before Send.
+//
+//   - Every queued message is linked into four intrusive doubly-linked
+//     lists, one per match pattern: arrival (AnySrc, AnyTag), per-source
+//     (src, AnyTag), per-tag (AnySrc, tag), and per-pair (src, tag). A
+//     receive pops the head of the single list matching its pattern —
+//     the first message in arrival order that matches, exactly the
+//     linear scan's answer — and unlinks the node from the other three
+//     in O(1). Doubly-linked removal (rather than lazy tombstones)
+//     matters: a long-lived unconsumed message at the head of one index
+//     must not pin consumed nodes behind it.
+//
+//   - The per-source index is a slice (TIDs are small dense integers)
+//     and the per-tag / per-pair indexes are open-addressing hash tables
+//     with Fibonacci hashing — a multiply and a mask instead of the
+//     runtime map's hashing and bucket walk. Index lists are never
+//     deleted, so the tables need no tombstones; they are bounded by the
+//     number of distinct sources/tags the endpoint has ever matched on.
+//
+// mailbox is not self-locking: the owning Endpoint serializes access
+// under its mutex.
+
+// Link-set indexes of a node's four list memberships.
+const (
+	lArrival = iota
+	lSrc
+	lTag
+	lPair
+	numLinks
+)
+
+// node wraps one queued message. links[i] are the intrusive prev/next
+// pointers for the list in lists[i]; keeping the list pointers on the
+// node makes unlinking from all four lists pointer work only (no index
+// lookups on the receive path).
+type node struct {
+	m     Message
+	links [numLinks]struct{ prev, next *node }
+	lists [numLinks]*list
+}
+
+// list is one doubly-linked index list over nodes; which link slot a
+// node uses for this list is the list's fixed slot index.
+type list struct {
+	head, tail *node
+	slot       int
+}
+
+func (l *list) pushBack(n *node) {
+	n.lists[l.slot] = l
+	n.links[l.slot].prev = l.tail
+	n.links[l.slot].next = nil
+	if l.tail != nil {
+		l.tail.links[l.slot].next = n
+	} else {
+		l.head = n
+	}
+	l.tail = n
+}
+
+func (l *list) remove(n *node) {
+	prev, next := n.links[l.slot].prev, n.links[l.slot].next
+	if prev != nil {
+		prev.links[l.slot].next = next
+	} else {
+		l.head = next
+	}
+	if next != nil {
+		next.links[l.slot].prev = prev
+	} else {
+		l.tail = prev
+	}
+}
+
+// fibMul is the 64-bit Fibonacci hashing constant (2^64 / golden ratio).
+const fibMul = 0x9E3779B97F4A7C15
+
+// tagTable maps tag → list with open addressing and linear probing.
+// Entries are never deleted (an index list outlives its messages), so
+// lookups stop at the first empty slot.
+type tagTable struct {
+	entries []tagEntry // len is a power of two; l == nil marks empty
+	used    int
+}
+
+type tagEntry struct {
+	l   *list
+	tag int
+}
+
+func (t *tagTable) get(tag int) *list {
+	if len(t.entries) == 0 {
+		return nil
+	}
+	mask := uint64(len(t.entries) - 1)
+	for i := uint64(int64(tag)) * fibMul >> 1; ; i++ {
+		e := &t.entries[i&mask]
+		if e.l == nil {
+			return nil
+		}
+		if e.tag == tag {
+			return e.l
+		}
+	}
+}
+
+func (t *tagTable) getOrCreate(tag int) *list {
+	if t.used*4 >= len(t.entries)*3 {
+		t.grow()
+	}
+	mask := uint64(len(t.entries) - 1)
+	for i := uint64(int64(tag)) * fibMul >> 1; ; i++ {
+		e := &t.entries[i&mask]
+		if e.l == nil {
+			e.l = &list{slot: lTag}
+			e.tag = tag
+			t.used++
+			return e.l
+		}
+		if e.tag == tag {
+			return e.l
+		}
+	}
+}
+
+func (t *tagTable) grow() {
+	old := t.entries
+	size := 8
+	if len(old) > 0 {
+		size = len(old) * 2
+	}
+	t.entries = make([]tagEntry, size)
+	mask := uint64(size - 1)
+	for _, e := range old {
+		if e.l == nil {
+			continue
+		}
+		for i := uint64(int64(e.tag)) * fibMul >> 1; ; i++ {
+			if t.entries[i&mask].l == nil {
+				t.entries[i&mask] = e
+				break
+			}
+		}
+	}
+}
+
+// pairTable maps (src, tag) → list; same scheme as tagTable.
+type pairTable struct {
+	entries []pairEntry
+	used    int
+}
+
+type pairEntry struct {
+	l   *list
+	src TID
+	tag int
+}
+
+func pairHash(src TID, tag int) uint64 {
+	return (uint64(uint32(src))<<32 | uint64(uint32(tag))) * fibMul >> 1
+}
+
+func (t *pairTable) get(src TID, tag int) *list {
+	if len(t.entries) == 0 {
+		return nil
+	}
+	mask := uint64(len(t.entries) - 1)
+	for i := pairHash(src, tag); ; i++ {
+		e := &t.entries[i&mask]
+		if e.l == nil {
+			return nil
+		}
+		if e.src == src && e.tag == tag {
+			return e.l
+		}
+	}
+}
+
+func (t *pairTable) getOrCreate(src TID, tag int) *list {
+	if t.used*4 >= len(t.entries)*3 {
+		t.grow()
+	}
+	mask := uint64(len(t.entries) - 1)
+	for i := pairHash(src, tag); ; i++ {
+		e := &t.entries[i&mask]
+		if e.l == nil {
+			e.l = &list{slot: lPair}
+			e.src = src
+			e.tag = tag
+			t.used++
+			return e.l
+		}
+		if e.src == src && e.tag == tag {
+			return e.l
+		}
+	}
+}
+
+func (t *pairTable) grow() {
+	old := t.entries
+	size := 8
+	if len(old) > 0 {
+		size = len(old) * 2
+	}
+	t.entries = make([]pairEntry, size)
+	mask := uint64(size - 1)
+	for _, e := range old {
+		if e.l == nil {
+			continue
+		}
+		for i := pairHash(e.src, e.tag); ; i++ {
+			if t.entries[i&mask].l == nil {
+				t.entries[i&mask] = e
+				break
+			}
+		}
+	}
+}
+
+type mailbox struct {
+	arrival list
+	bySrc   []*list // indexed by int(src); TIDs are small and dense
+	byTag   tagTable
+	byPair  pairTable
+	free    *node // freelist threaded through links[lArrival].next
+	count   int
+}
+
+func newMailbox() *mailbox {
+	return &mailbox{arrival: list{slot: lArrival}}
+}
+
+func (b *mailbox) srcList(src TID) *list {
+	i := int(src)
+	if i >= len(b.bySrc) {
+		grown := make([]*list, i+i/2+8)
+		copy(grown, b.bySrc)
+		b.bySrc = grown
+	}
+	l := b.bySrc[i]
+	if l == nil {
+		l = &list{slot: lSrc}
+		b.bySrc[i] = l
+	}
+	return l
+}
+
+// push stores a message (by value, into a pooled node) in all four
+// indexes.
+func (b *mailbox) push(m *Message) {
+	n := b.free
+	if n != nil {
+		b.free = n.links[lArrival].next
+		n.links[lArrival].next = nil
+	} else {
+		n = &node{}
+	}
+	n.m = *m
+	b.arrival.pushBack(n)
+	b.srcList(m.Src).pushBack(n)
+	b.byTag.getOrCreate(m.Tag).pushBack(n)
+	b.byPair.getOrCreate(m.Src, m.Tag).pushBack(n)
+	b.count++
+}
+
+// lookup returns the list holding exactly the messages matching
+// (src, tag), or nil when no such list exists yet (no match possible).
+func (b *mailbox) lookup(src TID, tag int) *list {
+	switch {
+	case src == AnySrc && tag == AnyTag:
+		return &b.arrival
+	case src == AnySrc:
+		return b.byTag.get(tag)
+	case tag == AnyTag:
+		if i := int(src); i < len(b.bySrc) {
+			return b.bySrc[i]
+		}
+		return nil
+	default:
+		return b.byPair.get(src, tag)
+	}
+}
+
+// take unlinks a node (the head of some pattern list) from all four
+// lists, copies the message out, and recycles the node.
+func (b *mailbox) take(n *node, out *Message) {
+	for _, l := range n.lists {
+		l.remove(n)
+	}
+	*out = n.m
+	*n = node{}
+	n.links[lArrival].next = b.free
+	b.free = n
+	b.count--
+}
+
+// pop removes the first message matching (src, tag) in arrival order
+// into out, reporting whether one existed.
+func (b *mailbox) pop(src TID, tag int, out *Message) bool {
+	l := b.lookup(src, tag)
+	if l == nil || l.head == nil {
+		return false
+	}
+	b.take(l.head, out)
+	return true
+}
+
+// peek reports whether a message matching (src, tag) is queued.
+func (b *mailbox) peek(src TID, tag int) bool {
+	l := b.lookup(src, tag)
+	return l != nil && l.head != nil
+}
+
+// clear drops every queued message and all index storage (used by kill,
+// where the endpoint will never enqueue again).
+func (b *mailbox) clear() {
+	*b = *newMailbox()
+}

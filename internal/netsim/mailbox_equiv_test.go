@@ -1,0 +1,171 @@
+package netsim
+
+import (
+	"testing"
+
+	"samft/internal/xrand"
+)
+
+// refMailbox is the obviously-correct reference the indexed mailbox is
+// checked against: a flat slice matched by linear scan in arrival order.
+type refMailbox struct {
+	msgs []Message
+}
+
+func (r *refMailbox) push(m *Message) { r.msgs = append(r.msgs, *m) }
+
+func (r *refMailbox) findIdx(src TID, tag int) int {
+	for i := range r.msgs {
+		if matches(&r.msgs[i], src, tag) {
+			return i
+		}
+	}
+	return -1
+}
+
+func (r *refMailbox) pop(src TID, tag int, out *Message) bool {
+	i := r.findIdx(src, tag)
+	if i < 0 {
+		return false
+	}
+	*out = r.msgs[i]
+	r.msgs = append(r.msgs[:i], r.msgs[i+1:]...)
+	return true
+}
+
+func (r *refMailbox) peek(src TID, tag int) bool { return r.findIdx(src, tag) >= 0 }
+
+// TestMailboxMatchesLinearScan drives the indexed mailbox and the linear
+// scan reference with the same seeded random schedule of pushes, pops,
+// and peeks — wildcard and exact patterns, skewed source/tag
+// distributions — and requires identical results at every step. The
+// chaos-style schedule includes bursts (deep queues) and full drains
+// (node pool reuse).
+func TestMailboxMatchesLinearScan(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		rng := xrand.New(seed)
+		mb := newMailbox()
+		ref := &refMailbox{}
+		nextID := int64(0)
+
+		pattern := func() (TID, int) {
+			src := AnySrc
+			if rng.Intn(2) == 0 {
+				src = TID(rng.Intn(6))
+			}
+			tag := AnyTag
+			if rng.Intn(2) == 0 {
+				tag = rng.Intn(4)
+			}
+			return src, tag
+		}
+
+		for step := 0; step < 5000; step++ {
+			switch op := rng.Intn(10); {
+			case op < 4: // push, sometimes a burst
+				burst := 1
+				if rng.Intn(8) == 0 {
+					burst = rng.Intn(40)
+				}
+				for k := 0; k < burst; k++ {
+					nextID++
+					m := Message{
+						Src: TID(rng.Intn(6)), Tag: rng.Intn(4),
+						ID: nextID, ArrivalUS: float64(nextID),
+					}
+					mb.push(&m)
+					ref.push(&m)
+				}
+			case op < 8: // pop
+				src, tag := pattern()
+				var got, want Message
+				gotOK := mb.pop(src, tag, &got)
+				wantOK := ref.pop(src, tag, &want)
+				if gotOK != wantOK {
+					t.Fatalf("seed %d step %d: pop(%d,%d) ok=%v, reference ok=%v",
+						seed, step, src, tag, gotOK, wantOK)
+				}
+				if gotOK && (got.ID != want.ID || got.Src != want.Src || got.Tag != want.Tag) {
+					t.Fatalf("seed %d step %d: pop(%d,%d) = ID %d (src %d tag %d), reference ID %d — arrival order broken",
+						seed, step, src, tag, got.ID, got.Src, got.Tag, want.ID)
+				}
+			case op < 9: // peek
+				src, tag := pattern()
+				if got, want := mb.peek(src, tag), ref.peek(src, tag); got != want {
+					t.Fatalf("seed %d step %d: peek(%d,%d) = %v, reference %v",
+						seed, step, src, tag, got, want)
+				}
+			default: // drain one pattern completely (exercises pool reuse)
+				src, tag := pattern()
+				var got, want Message
+				for mb.pop(src, tag, &got) {
+					if !ref.pop(src, tag, &want) || got.ID != want.ID {
+						t.Fatalf("seed %d step %d: drain diverged at ID %d", seed, step, got.ID)
+					}
+				}
+				if ref.pop(src, tag, &want) {
+					t.Fatalf("seed %d step %d: reference still had ID %d after drain", seed, step, want.ID)
+				}
+			}
+			if mb.count != len(ref.msgs) {
+				t.Fatalf("seed %d step %d: count = %d, reference %d", seed, step, mb.count, len(ref.msgs))
+			}
+		}
+	}
+}
+
+// TestEndpointMatchesLinearScanUnderChaos repeats the equivalence check
+// through the full Endpoint receive path (queue scan, lazy indexing,
+// compaction) with seeded chaos jitter perturbing modeled arrival times,
+// by comparing every TryRecv against a reference fed the same delivery
+// order.
+func TestEndpointMatchesLinearScanUnderChaos(t *testing.T) {
+	for seed := uint64(1); seed <= 4; seed++ {
+		cfg := DefaultConfig()
+		cfg.Chaos = &FaultPlan{Seed: seed, JitterUS: 25}
+		n := New(cfg)
+		dst := n.NewEndpoint()
+		srcs := make([]*Endpoint, 5)
+		for i := range srcs {
+			srcs[i] = n.NewEndpoint()
+		}
+		ref := &refMailbox{}
+		rng := xrand.New(seed ^ 0xabcdef)
+
+		for step := 0; step < 3000; step++ {
+			if rng.Intn(2) == 0 {
+				e := srcs[rng.Intn(len(srcs))]
+				tag := 1 + rng.Intn(3)
+				if err := e.Send(dst.TID(), tag, nil); err != nil {
+					t.Fatal(err)
+				}
+				// Single-threaded sends: delivery order is send order.
+				ref.push(&Message{Src: e.TID(), Tag: tag})
+			} else {
+				src := AnySrc
+				if rng.Intn(2) == 0 {
+					src = srcs[rng.Intn(len(srcs))].TID()
+				}
+				tag := AnyTag
+				if rng.Intn(2) == 0 {
+					tag = 1 + rng.Intn(3)
+				}
+				m, ok, err := dst.TryRecv(src, tag)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var want Message
+				wantOK := ref.pop(src, tag, &want)
+				if ok != wantOK {
+					t.Fatalf("seed %d step %d: TryRecv(%d,%d) ok=%v, reference %v",
+						seed, step, src, tag, ok, wantOK)
+				}
+				if ok && (m.Src != want.Src || m.Tag != want.Tag) {
+					t.Fatalf("seed %d step %d: TryRecv(%d,%d) = src %d tag %d, reference src %d tag %d",
+						seed, step, src, tag, m.Src, m.Tag, want.Src, want.Tag)
+				}
+			}
+		}
+		n.Close()
+	}
+}

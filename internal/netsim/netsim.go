@@ -20,6 +20,29 @@
 //     future messages to it are dropped, its blocked receivers unblock with
 //     ErrKilled, and subscribers receive an exit notification, mirroring
 //     pvm_notify(PvmTaskExit).
+//
+// # Scaling and lock order
+//
+// The fabric is built to scale to thousands of endpoints with O(1),
+// allocation-free per-message overhead. Routing goes through a
+// copy-on-write slice indexed by TID (published with an atomic pointer,
+// copied only on endpoint registration), so the send hot path takes no
+// network-wide lock and sends to distinct endpoints share no mutable
+// state. Delivery appends the message by value to the receiver's queue
+// under the receiver's mutex — a critical section of a few instructions
+// — and all PVM-style matching work happens on the receiver's side:
+// messages are indexed by source and tag (see mailbox.go) only when a
+// receive scans past them, so matching is O(1) amortized for every
+// wildcard pattern. Liveness flags, modeled clocks, and traffic counters
+// are atomics.
+//
+// Lock order: Network.mu (registration, watcher sets, shutdown) and
+// Endpoint.mu (one message queue) are both leaf locks — neither is ever
+// acquired while the other is held. Network.Kill marks the victim dead
+// with an atomic store while holding Network.mu (the commit point a
+// concurrent Notify must observe) and drains the queue only after
+// releasing it. The only lock acquired under Endpoint.mu is the trace
+// recorder's, which is a leaf by construction.
 package netsim
 
 import (
@@ -134,18 +157,37 @@ func (m *Message) String() string {
 	return fmt.Sprintf("msg{%d->%d tag=%d %dB}", m.Src, m.Dst, m.Tag, len(m.Payload))
 }
 
+// routeTable is the immutable routing snapshot published by the
+// copy-on-write scheme: registration copies the slice, inserts, and swaps
+// the pointer; readers load it without locks. TIDs are dense small
+// integers, so the table is a slice indexed by TID — routing a message is
+// an atomic load plus an array index. Dead endpoints stay in the table
+// (their liveness flag is atomic), so Kill never rewrites it.
+type routeTable []*Endpoint
+
 // Network is a simulated cluster fabric. All methods are safe for
 // concurrent use.
 type Network struct {
 	cfg Config
 
-	mu        sync.Mutex
-	nextTID   TID
-	endpoints map[TID]*Endpoint
+	// routes is the copy-on-write routing table consulted (lock-free) by
+	// every Send and Lookup.
+	routes atomic.Pointer[routeTable]
+
+	// mu guards registration, the watcher sets, and shutdown. It is a
+	// leaf lock: no Endpoint mutex is ever taken while it is held (see
+	// the package lock-order note).
+	mu      sync.Mutex
+	nextTID TID
 	// watchers maps a watched TID to the set of endpoints that asked to be
 	// notified when it dies (pvm_notify).
 	watchers map[TID]map[TID]bool
 	closed   bool
+
+	// usPerByte is the precomputed modeled transfer time per payload byte
+	// (1/BandwidthMBps, or 0 for infinite bandwidth), so the send hot
+	// path multiplies instead of dividing.
+	usPerByte float64
 
 	// chaos is the fault-injection runtime, nil unless Config.Chaos was set.
 	chaos *chaosState
@@ -161,14 +203,29 @@ func New(cfg Config) *Network {
 	if cfg.Cost == (CostModel{}) {
 		cfg.Cost = AN2()
 	}
-	return &Network{
-		cfg:       cfg,
-		nextTID:   100, // distinguishable from small ranks in logs
-		endpoints: make(map[TID]*Endpoint),
-		watchers:  make(map[TID]map[TID]bool),
-		chaos:     newChaosState(cfg.Chaos),
-		tracer:    cfg.Trace,
+	n := &Network{
+		cfg:      cfg,
+		nextTID:  100, // distinguishable from small ranks in logs
+		watchers: make(map[TID]map[TID]bool),
+		chaos:    newChaosState(cfg.Chaos),
+		tracer:   cfg.Trace,
 	}
+	if cfg.Cost.BandwidthMBps > 0 {
+		n.usPerByte = 1 / cfg.Cost.BandwidthMBps
+	}
+	empty := make(routeTable, 0)
+	n.routes.Store(&empty)
+	return n
+}
+
+// route returns the endpoint registered for tid (alive or dead) without
+// taking any lock, or nil for a TID that never existed.
+func (n *Network) route(tid TID) *Endpoint {
+	table := *n.routes.Load()
+	if tid < 0 || int(tid) >= len(table) {
+		return nil
+	}
+	return table[tid]
 }
 
 // Cost returns the network's cost model.
@@ -177,7 +234,10 @@ func (n *Network) Cost() CostModel { return n.cfg.Cost }
 // Tracer returns the network's tracer (nil when tracing is disabled).
 func (n *Network) Tracer() *trace.Tracer { return n.tracer }
 
-// NewEndpoint allocates a live endpoint with a fresh TID.
+// NewEndpoint allocates a live endpoint with a fresh TID and publishes a
+// new routing snapshot. Registration is the only operation that copies
+// the table; it is O(endpoints) but runs once per spawn, never per
+// message.
 func (n *Network) NewEndpoint() *Endpoint {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -187,16 +247,19 @@ func (n *Network) NewEndpoint() *Endpoint {
 	n.nextTID++
 	e := newEndpoint(n, n.nextTID)
 	e.rec = n.tracer.Track(int64(e.tid))
-	n.endpoints[e.tid] = e
+	old := *n.routes.Load()
+	next := make(routeTable, int(e.tid)+1)
+	copy(next, old)
+	next[e.tid] = e
+	n.routes.Store(&next)
 	return e
 }
 
 // Lookup returns the endpoint for a TID, or nil if it does not exist or has
-// been killed.
+// been killed. Lock-free: a routing-table load plus an atomic liveness
+// check.
 func (n *Network) Lookup(tid TID) *Endpoint {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	e := n.endpoints[tid]
+	e := n.route(tid)
 	if e == nil || e.isDead() {
 		return nil
 	}
@@ -212,16 +275,17 @@ func (n *Network) Alive(tid TID) bool { return n.Lookup(tid) != nil }
 // immediately, matching PVM semantics (pvmd answers a notify request for
 // an exited task right away).
 //
-// Because Kill marks the target dead while still holding the network lock,
-// Notify cannot observe the target alive after Kill has claimed its
-// watcher set: either the registration lands in the set Kill will drain,
-// or Notify sees the target dead and self-delivers. Either way exactly one
-// code path produces the exit message.
+// Because Kill marks the target dead (an atomic store, no lock nesting)
+// while still holding the network lock, Notify cannot observe the target
+// alive after Kill has claimed its watcher set: either the registration
+// lands in the set Kill will drain, or Notify sees the target dead and
+// self-delivers. Either way exactly one code path produces the exit
+// message.
 func (n *Network) Notify(watcher, target TID, tag int) {
 	n.mu.Lock()
-	w := n.endpoints[watcher]
-	t, ok := n.endpoints[target]
-	dead := n.closed || !ok || t.isDead()
+	w := n.route(watcher)
+	t := n.route(target)
+	dead := n.closed || t == nil || t.isDead()
 	if !dead {
 		set := n.watchers[target]
 		if set == nil {
@@ -244,7 +308,7 @@ func (n *Network) Notify(watcher, target TID, tag int) {
 // runner uses it to tell injected failures from no-ops).
 func (n *Network) Kill(tid TID, notifyTag int) bool {
 	n.mu.Lock()
-	e := n.endpoints[tid]
+	e := n.route(tid)
 	if e == nil || e.isDead() {
 		n.mu.Unlock()
 		return false
@@ -253,9 +317,12 @@ func (n *Network) Kill(tid TID, notifyTag int) bool {
 	delete(n.watchers, tid)
 	// Mark the endpoint dead before releasing the network lock: a
 	// concurrent Notify must either land in the watcher set claimed above
-	// or observe the death and deliver immediately — never neither.
-	e.kill()
+	// or observe the death and deliver immediately — never neither. The
+	// mark is an atomic store, so no endpoint lock nests under n.mu; the
+	// mailbox drain and receiver wakeup happen after the unlock.
+	e.markDead()
 	n.mu.Unlock()
+	e.finishKill()
 
 	if e.rec != nil {
 		e.rec.Emit(trace.Event{
@@ -335,24 +402,21 @@ func (n *Network) Close() {
 		return
 	}
 	n.closed = true
-	eps := make([]*Endpoint, 0, len(n.endpoints))
-	for _, e := range n.endpoints {
-		eps = append(eps, e)
-	}
 	n.mu.Unlock()
-	for _, e := range eps {
-		e.closeNetwork()
+	for _, e := range *n.routes.Load() {
+		if e != nil {
+			e.closeNetwork()
+		}
 	}
 }
 
 // TIDs returns the ids of all live endpoints (order unspecified).
 func (n *Network) TIDs() []TID {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	out := make([]TID, 0, len(n.endpoints))
-	for tid, e := range n.endpoints {
-		if !e.isDead() {
-			out = append(out, tid)
+	table := *n.routes.Load()
+	out := make([]TID, 0, len(table))
+	for tid, e := range table {
+		if e != nil && !e.isDead() {
+			out = append(out, TID(tid))
 		}
 	}
 	return out

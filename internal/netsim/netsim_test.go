@@ -81,7 +81,7 @@ func TestRecvLeavesNonMatching(t *testing.T) {
 
 func TestRecvBlocksUntilSend(t *testing.T) {
 	_, a, b := pair(t)
-	done := make(chan *Message, 1)
+	done := make(chan Message, 1)
 	go func() {
 		m, err := b.Recv(a.TID(), 9)
 		if err != nil {
@@ -110,7 +110,7 @@ func TestRecvBlocksUntilSend(t *testing.T) {
 
 func TestTryRecvAndProbe(t *testing.T) {
 	_, a, b := pair(t)
-	if m, err := b.TryRecv(AnySrc, AnyTag); err != nil || m != nil {
+	if m, ok, err := b.TryRecv(AnySrc, AnyTag); err != nil || ok {
 		t.Fatalf("empty TryRecv = %v, %v", m, err)
 	}
 	if b.Probe(AnySrc, AnyTag) {
@@ -122,8 +122,8 @@ func TestTryRecvAndProbe(t *testing.T) {
 	if !b.Probe(a.TID(), 3) {
 		t.Fatal("probe missed queued message")
 	}
-	m, err := b.TryRecv(a.TID(), 3)
-	if err != nil || m == nil {
+	m, ok, err := b.TryRecv(a.TID(), 3)
+	if err != nil || !ok {
 		t.Fatalf("TryRecv = %v, %v", m, err)
 	}
 }

@@ -171,13 +171,16 @@ func (t *Task) Send(dst TID, tag int, payload []byte) error {
 }
 
 // Recv blocks until a message matching src/tag arrives. It returns
-// ErrKilled if this task is killed while waiting.
-func (t *Task) Recv(src TID, tag int) (*netsim.Message, error) {
+// ErrKilled if this task is killed while waiting. The message is
+// returned by value: the fabric's queue storage is pooled, and nothing
+// retains the frame after it is handed over.
+func (t *Task) Recv(src TID, tag int) (netsim.Message, error) {
 	return t.ep.Recv(src, tag)
 }
 
-// TryRecv is the non-blocking pvm_nrecv: (nil, nil) when nothing matches.
-func (t *Task) TryRecv(src TID, tag int) (*netsim.Message, error) {
+// TryRecv is the non-blocking pvm_nrecv: ok reports whether a message
+// matched.
+func (t *Task) TryRecv(src TID, tag int) (netsim.Message, bool, error) {
 	return t.ep.TryRecv(src, tag)
 }
 

@@ -164,7 +164,7 @@ func TestTryRecvAndProbe(t *testing.T) {
 	m := machine(t)
 	a := spawnIdle(m, "a")
 	b := spawnIdle(m, "b")
-	if msg, err := a.TryRecv(AnySrc, 20); err != nil || msg != nil {
+	if msg, ok, err := a.TryRecv(AnySrc, 20); err != nil || ok {
 		t.Fatalf("TryRecv on empty = %v, %v", msg, err)
 	}
 	if err := b.Endpoint().Send(a.TID(), 20, []byte("hi")); err != nil {
@@ -173,8 +173,8 @@ func TestTryRecvAndProbe(t *testing.T) {
 	if !a.Probe(b.TID(), 20) {
 		t.Fatal("probe missed message")
 	}
-	msg, err := a.TryRecv(b.TID(), 20)
-	if err != nil || msg == nil || string(msg.Payload) != "hi" {
+	msg, ok, err := a.TryRecv(b.TID(), 20)
+	if err != nil || !ok || string(msg.Payload) != "hi" {
 		t.Fatalf("TryRecv = %v, %v", msg, err)
 	}
 }

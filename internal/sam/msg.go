@@ -128,9 +128,17 @@ type wire struct {
 	// Fresh marks a kRecoverPriv that carries no state: the failed rank
 	// had never checkpointed and must restart from Init.
 	Fresh bool
-	// Stamp piggyback (§4.3).
-	StampT []int64
-	StampC int64
+	// Stamp piggyback (§4.3), delta-encoded (ft.DeltaStamp). HasStamp
+	// gates absorption: a stamp may legitimately carry no entries (nothing
+	// changed since the last message to this destination). StampT is the
+	// full T vector — sent on first contact with the destination and after
+	// its incarnation changes — otherwise StampIdx/StampVal carry only the
+	// entries that changed since the previous stamp to the destination.
+	HasStamp bool
+	StampT   []int64
+	StampIdx []int64
+	StampVal []int64
+	StampC   int64
 }
 
 func init() {
@@ -142,8 +150,11 @@ func init() {
 func (p *Proc) encodeWire(w *wire, dstRank int) []byte {
 	w.SrcRank = p.cfg.Rank
 	if p.cfg.Policy != 0 { // any FT policy: piggyback clocks
-		st := p.clocks.StampFor(dstRank)
-		w.StampT = st.T
+		st := p.clocks.DeltaStampFor(dstRank)
+		w.HasStamp = true
+		w.StampT = st.Full
+		w.StampIdx = st.Idx
+		w.StampVal = st.Val
 		w.StampC = st.CForDst
 	}
 	b, err := codec.Pack(w)

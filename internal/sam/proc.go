@@ -28,7 +28,7 @@ type Proc struct {
 	taint  *ft.Taint
 
 	cmdq  chan *cmd
-	netq  chan *netsim.Message
+	netq  chan netsim.Message
 	deadc chan struct{}
 
 	// ---- runtime-goroutine state below ----
@@ -137,7 +137,7 @@ func NewProc(task *pvm.Task, cfg Config) *Proc {
 		clocks:           ft.NewClocks(cfg.Rank, cfg.N),
 		taint:            ft.NewTaint(cfg.Policy),
 		cmdq:             make(chan *cmd),
-		netq:             make(chan *netsim.Message, 4096),
+		netq:             make(chan netsim.Message, 4096),
 		deadc:            make(chan struct{}),
 		runDone:          make(chan struct{}),
 		ranks:            append([]pvm.TID(nil), cfg.Ranks...),
@@ -328,7 +328,7 @@ func (p *Proc) unpark(obj interface{}, err error) {
 }
 
 // handleMessage dispatches one network message.
-func (p *Proc) handleMessage(m *netsim.Message) {
+func (p *Proc) handleMessage(m netsim.Message) {
 	if m.Tag == pvm.TagTaskExit {
 		dead, err := netsim.ParseExitPayload(m.Payload)
 		if err == nil {
@@ -376,8 +376,11 @@ func (p *Proc) dispatch(w *wire) {
 			})
 		}
 	}
-	if len(w.StampT) > 0 {
-		p.clocks.Absorb(ft.Stamp{From: w.SrcRank, T: w.StampT, CForDst: w.StampC})
+	if w.HasStamp {
+		p.clocks.AbsorbDelta(ft.DeltaStamp{
+			From: w.SrcRank, Full: w.StampT,
+			Idx: w.StampIdx, Val: w.StampVal, CForDst: w.StampC,
+		})
 		if len(p.freePending) > 0 {
 			p.retryFrees()
 		}

@@ -205,6 +205,10 @@ func (p *Proc) installNewIncarnation(rank int, newTID netsim.TID) {
 	delete(p.deadRanks, rank)
 	p.task.Notify(newTID)
 
+	// Stamps sent to the dead incarnation may be lost with it; the next
+	// piggyback to the replacement must carry the full T vector.
+	p.clocks.ResetPeer(rank)
+
 	// Drop everything provisional from the failed process's uncommitted
 	// checkpoint: it recovers from its last *committed* state.
 	p.dropProvisionalFrom(rank)
