@@ -21,6 +21,7 @@ import (
 	"samft/internal/benchkit"
 	"samft/internal/experiments"
 	"samft/internal/ft"
+	"samft/internal/netsim"
 )
 
 type microBench struct {
@@ -42,14 +43,31 @@ type appCell struct {
 	// whether the killed run still produced the fault-free answer.
 	RecoverySec float64 `json:"recovery_sec"`
 	AnswerOK    bool    `json:"answer_ok"`
+	// Proactive coverage-repair traffic in the killed run: checkpoint
+	// copies the ckptstore ledger re-replicated after recovery, and the
+	// modeled seconds that traffic costs on the paper's AN2 network
+	// (per-object latency plus bytes over bandwidth).
+	RepairObjects    int64   `json:"repair_objects"`
+	RepairBytes      int64   `json:"repair_bytes"`
+	RepairModeledSec float64 `json:"repair_modeled_sec"`
+}
+
+// repairModeledSec prices the repair traffic on the AN2 cost model.
+func repairModeledSec(objects, bytes int64) float64 {
+	cm := netsim.AN2()
+	return (float64(objects)*cm.LatencyUS + float64(bytes)/cm.BandwidthMBps) / 1e6
 }
 
 type benchDoc struct {
-	Date       string                `json:"date"`
-	GoVersion  string                `json:"go_version"`
-	GoMaxProcs int                   `json:"gomaxprocs"`
-	Micro      map[string]microBench `json:"micro"`
-	Apps       []appCell             `json:"apps"`
+	Date       string `json:"date"`
+	GoVersion  string `json:"go_version"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	// Placement/EC record the checkpoint-store configuration the app cells
+	// ran under (ring with full copies unless overridden by -placement/-ec).
+	Placement string                `json:"placement"`
+	EC        string                `json:"ec,omitempty"`
+	Micro     map[string]microBench `json:"micro"`
+	Apps      []appCell             `json:"apps"`
 }
 
 // benchBest runs f through testing.Benchmark `tries` times and keeps
@@ -88,12 +106,16 @@ func toMicro(r testing.BenchmarkResult) microBench {
 // (default BENCH_<date>.json in the current directory), and, when
 // baseline names a previously committed trajectory file, fails on any
 // throughput regression beyond regressionTolerance.
-func benchJSON(out, baseline, scaleName string, scale experiments.Scale, procs []int) error {
+func benchJSON(out, baseline, scaleName string, scale experiments.Scale, procs []int, store storeConfig) error {
 	doc := benchDoc{
 		Date:       time.Now().Format("2006-01-02"),
 		GoVersion:  runtime.Version(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Placement:  store.placement.String(),
 		Micro:      map[string]microBench{},
+	}
+	if store.ecK > 0 {
+		doc.EC = fmt.Sprintf("%d,%d", store.ecK, store.ecM)
 	}
 
 	micro := []struct {
@@ -128,12 +150,16 @@ func benchJSON(out, baseline, scaleName string, scale experiments.Scale, procs [
 			if err != nil {
 				return err
 			}
-			ftRun, err := experiments.Run(experiments.Spec{App: app, N: n, Policy: ft.PolicySAM, Scale: scale})
+			ftRun, err := experiments.Run(experiments.Spec{
+				App: app, N: n, Policy: ft.PolicySAM, Scale: scale,
+				Placement: store.placement, ECData: store.ecK, ECParity: store.ecM,
+			})
 			if err != nil {
 				return err
 			}
 			killed, err := experiments.Run(experiments.Spec{
 				App: app, N: n, Policy: ft.PolicySAM, Scale: scale,
+				Placement: store.placement, ECData: store.ecK, ECParity: store.ecM,
 				Kills: []experiments.KillEvent{{Rank: n / 2, Step: 2}},
 			})
 			if err != nil {
@@ -145,13 +171,17 @@ func benchJSON(out, baseline, scaleName string, scale experiments.Scale, procs [
 				FTModeledSec:   ftRun.ModeledSec,
 				RecoverySec:    killed.RecoverySec,
 				AnswerOK:       killed.Answer == base.Answer && ftRun.Answer == base.Answer,
+				RepairObjects:  killed.Report.Total.RepairObjects,
+				RepairBytes:    killed.Report.Total.RepairBytes,
 			}
+			cell.RepairModeledSec = repairModeledSec(cell.RepairObjects, cell.RepairBytes)
 			if base.ModeledSec > 0 {
 				cell.CheckpointOverheadPct = 100 * (ftRun.ModeledSec - base.ModeledSec) / base.ModeledSec
 			}
 			doc.Apps = append(doc.Apps, cell)
-			fmt.Printf("app %-12s n=%-3d overhead %6.2f%%  recovery %7.3fs  answer-ok %v\n",
-				cell.App, n, cell.CheckpointOverheadPct, cell.RecoverySec, cell.AnswerOK)
+			fmt.Printf("app %-12s n=%-3d overhead %6.2f%%  recovery %7.3fs  repair %d obj / %d B / %.3fs  answer-ok %v\n",
+				cell.App, n, cell.CheckpointOverheadPct, cell.RecoverySec,
+				cell.RepairObjects, cell.RepairBytes, cell.RepairModeledSec, cell.AnswerOK)
 			if !cell.AnswerOK {
 				return fmt.Errorf("%s n=%d: FT or killed run diverged from the fault-free answer", cell.App, n)
 			}

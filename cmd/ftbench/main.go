@@ -3,7 +3,8 @@
 // (Figures 3–5 and their statistics tables), the recovery-time result,
 // and the ablations from DESIGN.md (naive checkpointing policy,
 // replication degree, eager freeing, the consistent-global-checkpoint
-// baseline, and the snapshot-cache ablation).
+// baseline, the snapshot-cache ablation, and the checkpoint-placement /
+// erasure-coding ablation).
 //
 // Independent cells of each sweep run concurrently (bounded by -par);
 // output ordering is identical to a sequential sweep.
@@ -16,6 +17,9 @@
 //	ftbench -exp water -par 1   # sequential baseline for timing
 //	ftbench -chaos              # seeded multi-failure chaos sweep
 //	ftbench -chaos -seed 42 -schedules 50
+//	ftbench -chaos -placement spread
+//	ftbench -exp recovery -ec 2,2
+//	ftbench -exp ablation-placement
 package main
 
 import (
@@ -26,19 +30,22 @@ import (
 	"strings"
 	"time"
 
+	"samft/internal/ckptstore"
 	"samft/internal/experiments"
 	"samft/internal/ft"
 	"samft/internal/trace"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: gps|water|barnes|recovery|chaos|ablation-naive|ablation-degree|ablation-force|ablation-snapcache|baseline-consistent|all")
+	exp := flag.String("exp", "all", "experiment: gps|water|barnes|recovery|chaos|ablation-naive|ablation-degree|ablation-force|ablation-snapcache|ablation-placement|baseline-consistent|all")
 	scaleFlag := flag.String("scale", "small", "workload scale: small|paper")
 	procsFlag := flag.String("procs", "1,2,4,8", "comma-separated processor counts")
 	par := flag.Int("par", 0, "max concurrent cluster simulations (0 = GOMAXPROCS)")
 	chaosFlag := flag.Bool("chaos", false, "shorthand for -exp chaos")
 	seed := flag.Uint64("seed", 1, "chaos master seed (reproduces a sweep exactly)")
 	schedules := flag.Int("schedules", 20, "chaos kill schedules per application")
+	placementFlag := flag.String("placement", "", "checkpoint-copy placement policy for recovery/chaos/-json runs: ring|affinity|spread (default ring)")
+	ecFlag := flag.String("ec", "", "erasure-code checkpoint copies as k,m Reed-Solomon shards for recovery/chaos/-json runs (default off)")
 	traceDir := flag.String("trace", "", "dump virtual-time traces (Chrome JSON + recovery report) under this directory")
 	jsonFlag := flag.Bool("json", false, "emit the benchmark trajectory file (BENCH_<date>.json) instead of figures")
 	outFlag := flag.String("out", "", "output path for -json (default BENCH_<date>.json)")
@@ -56,11 +63,20 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	placement, err := ckptstore.ParseKind(*placementFlag)
+	if err != nil {
+		fatal(err)
+	}
+	ecK, ecM, err := parseEC(*ecFlag)
+	if err != nil {
+		fatal(err)
+	}
+	store := storeConfig{placement: placement, ecK: ecK, ecM: ecM}
 	if *par > 0 {
 		experiments.SetParallelism(*par)
 	}
 	if *jsonFlag {
-		if err := benchJSON(*outFlag, *baselineFlag, *scaleFlag, scale, procs); err != nil {
+		if err := benchJSON(*outFlag, *baselineFlag, *scaleFlag, scale, procs, store); err != nil {
 			fatal(err)
 		}
 		return
@@ -78,11 +94,11 @@ func main() {
 	run("gps", func() error { return figure(experiments.GPS, scale, procs) })
 	run("water", func() error { return figure(experiments.Water, scale, procs) })
 	run("barnes", func() error { return figure(experiments.Barnes, scale, procs) })
-	run("recovery", func() error { return recovery(scale, *traceDir) })
+	run("recovery", func() error { return recovery(scale, *traceDir, store) })
 	// Chaos is not part of -exp all: it runs 3 x -schedules full cluster
 	// simulations and is a correctness sweep, not a figure regeneration.
 	if *exp == "chaos" {
-		if err := chaos(scale, *seed, *schedules, *traceDir); err != nil {
+		if err := chaos(scale, *seed, *schedules, *traceDir, store); err != nil {
 			fatal(fmt.Errorf("chaos: %w", err))
 		}
 	}
@@ -90,7 +106,42 @@ func main() {
 	run("ablation-degree", func() error { return ablationDegree(scale) })
 	run("ablation-force", func() error { return ablationForce(scale) })
 	run("ablation-snapcache", func() error { return ablationSnapCache(scale) })
+	run("ablation-placement", func() error { return ablationPlacement(scale) })
 	run("baseline-consistent", func() error { return baselineConsistent(scale, procs) })
+}
+
+// storeConfig bundles the -placement / -ec flags: the checkpoint-store
+// configuration applied to the recovery, chaos, and -json runs.
+type storeConfig struct {
+	placement ckptstore.Kind
+	ecK, ecM  int
+}
+
+// label renders the configuration for table output ("ring", "spread+ec(2,1)").
+func (s storeConfig) label() string {
+	out := s.placement.String()
+	if s.ecK > 0 {
+		out += fmt.Sprintf("+ec(%d,%d)", s.ecK, s.ecM)
+	}
+	return out
+}
+
+func parseEC(s string) (k, m int, err error) {
+	if s == "" {
+		return 0, 0, nil
+	}
+	parts := strings.Split(s, ",")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("bad -ec %q: want k,m (e.g. -ec 2,1)", s)
+	}
+	k, err = strconv.Atoi(strings.TrimSpace(parts[0]))
+	if err == nil {
+		m, err = strconv.Atoi(strings.TrimSpace(parts[1]))
+	}
+	if err != nil || k < 1 || m < 1 {
+		return 0, 0, fmt.Errorf("bad -ec %q: want two positive integers k,m", s)
+	}
+	return k, m, nil
 }
 
 func parseProcs(s string) ([]int, error) {
@@ -130,8 +181,8 @@ func figure(app experiments.AppKind, scale experiments.Scale, procs []int) error
 // share the machine; they run sequentially to keep output ordering tidy.
 // With -trace, each killed run records its virtual-time timeline; the
 // phase-decomposed recovery report is printed and the Chrome trace dumped.
-func recovery(scale experiments.Scale, traceDir string) error {
-	fmt.Println("== Recovery (kill one process mid-run, E4) ==")
+func recovery(scale experiments.Scale, traceDir string, store storeConfig) error {
+	fmt.Printf("== Recovery (kill one process mid-run, E4; placement=%s) ==\n", store.label())
 	fmt.Printf("%-12s %8s %10s %14s %12s\n", "app", "procs", "killed", "recovery(s)", "answer-ok")
 	type traced struct {
 		app    experiments.AppKind
@@ -145,6 +196,7 @@ func recovery(scale experiments.Scale, traceDir string) error {
 		}
 		spec := experiments.Spec{
 			App: app, N: 4, Policy: ft.PolicySAM, Scale: scale,
+			Placement: store.placement, ECData: store.ecK, ECParity: store.ecM,
 			Kills: []experiments.KillEvent{{Rank: 2, Step: 2}},
 		}
 		if traceDir != "" {
@@ -176,13 +228,22 @@ func recovery(scale experiments.Scale, traceDir string) error {
 // takeover, re-kills during recovery) with message jitter and exit-
 // notification drop/duplication, each verified bit-for-bit against the
 // fault-free answer and checked for post-run state invariants.
-func chaos(scale experiments.Scale, seed uint64, schedules int, traceDir string) error {
+func chaos(scale experiments.Scale, seed uint64, schedules int, traceDir string, store storeConfig) error {
 	failed := 0
 	for _, app := range []experiments.AppKind{experiments.GPS, experiments.Water, experiments.Barnes} {
-		res, err := experiments.RunChaos(experiments.ChaosSpec{
+		spec := experiments.ChaosSpec{
 			App: app, Scale: scale, Seed: seed, Schedules: schedules,
+			Placement: store.placement, ECData: store.ecK, ECParity: store.ecM,
 			Jitter: true, NotifyChaos: true, TraceDir: traceDir,
-		})
+		}
+		if store.ecK > 0 {
+			// A (k,m) code survives at most m simultaneous losses, so the
+			// schedules must stay within the code's budget, and the shards
+			// need N-1 >= k+m non-owner ranks to land on.
+			spec.MaxKills = store.ecM
+			spec.N = store.ecK + store.ecM + 1
+		}
+		res, err := experiments.RunChaos(spec)
 		if err != nil {
 			return err
 		}
@@ -293,6 +354,59 @@ func ablationSnapCache(scale experiments.Scale) error {
 		fmt.Printf("%8s %14.4f %12d %12.2f %14d %12.4f\n", mode, res.ModeledSec,
 			res.Report.Total.SnapCacheHits, res.Report.SnapCacheHitPct(),
 			res.Report.Total.SnapCacheBytesSaved, res.Answer)
+	}
+	fmt.Println()
+	return nil
+}
+
+// ablationPlacement sweeps the ckptstore configurations (A6): the three
+// placement policies at full replication plus Reed-Solomon (k,m) cells,
+// all on GPS at N=5 with a mid-run kill. Columns map to the EXPERIMENTS.md
+// ablation table: replica bytes are the memory/network overhead of the
+// redundancy, recovery(s) the modeled restore time after the kill,
+// survivable the number of simultaneous failures the configuration is
+// guaranteed to survive (copies: min(Degree, N-1); EC: m), and the repair
+// columns the proactive re-replication traffic that restores coverage
+// after recovery.
+func ablationPlacement(scale experiments.Scale) error {
+	const n = 5
+	fmt.Println("== Ablation A6: checkpoint placement policy and erasure coding (GPS, 5 procs, 1 kill) ==")
+	fmt.Printf("%-16s %10s %14s %12s %12s %14s %12s\n",
+		"config", "survivable", "replica bytes", "recovery(s)", "repair objs", "repair bytes", "answer-ok")
+	base, err := experiments.Run(experiments.Spec{App: experiments.GPS, N: n, Policy: ft.PolicyOff, Scale: scale})
+	if err != nil {
+		return err
+	}
+	cells := []storeConfig{
+		{placement: ckptstore.Ring},
+		{placement: ckptstore.Affinity},
+		{placement: ckptstore.Spread},
+		{placement: ckptstore.Ring, ecK: 2, ecM: 1},
+		{placement: ckptstore.Ring, ecK: 2, ecM: 2},
+		{placement: ckptstore.Ring, ecK: 3, ecM: 1},
+	}
+	var specs []experiments.Spec
+	for _, c := range cells {
+		specs = append(specs, experiments.Spec{
+			App: experiments.GPS, N: n, Policy: ft.PolicySAM, Degree: 2, Scale: scale,
+			Placement: c.placement, ECData: c.ecK, ECParity: c.ecM,
+			Kills: []experiments.KillEvent{{Rank: 2, Step: 2}},
+		})
+	}
+	results, err := experiments.RunAll(specs)
+	if err != nil {
+		return err
+	}
+	for i, res := range results {
+		c := cells[i]
+		survivable := 2 // Degree
+		if c.ecK > 0 {
+			survivable = c.ecM
+		}
+		fmt.Printf("%-16s %10d %14d %12.3f %12d %14d %12v\n",
+			c.label(), survivable, res.Report.Total.ReplicaBytes, res.RecoverySec,
+			res.Report.Total.RepairObjects, res.Report.Total.RepairBytes,
+			res.Answer == base.Answer)
 	}
 	fmt.Println()
 	return nil

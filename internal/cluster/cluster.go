@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"samft/internal/ckptstore"
 	"samft/internal/ft"
 	"samft/internal/netsim"
 	"samft/internal/pvm"
@@ -26,6 +27,15 @@ type Config struct {
 	Policy ft.Policy
 	// Degree is the replication degree (default 1).
 	Degree int
+	// Placement selects the checkpoint-copy placement policy (ring,
+	// affinity, spread); see internal/ckptstore.
+	Placement ckptstore.Kind
+	// ECData/ECParity, when both positive, erasure-code checkpoint copies
+	// as k data + m parity shards instead of full replicas. Ignored when
+	// the cluster is too small (k+m > N-1); private state stays fully
+	// replicated at Degree either way.
+	ECData   int
+	ECParity int
 	// EagerFree disables the §4.3 lazy-free protocol (ablation).
 	EagerFree bool
 	// CacheCapacity bounds each process's cached-object count (0 = off).
@@ -130,6 +140,9 @@ func (c *Cluster) spawn(rank int, recovering bool) *pvm.Task {
 			Ranks:         ranks,
 			Policy:        c.cfg.Policy,
 			Degree:        c.cfg.Degree,
+			Placement:     c.cfg.Placement,
+			ECData:        c.cfg.ECData,
+			ECParity:      c.cfg.ECParity,
 			LazyFree:      !c.cfg.EagerFree,
 			CacheCapacity: c.cfg.CacheCapacity,
 			NoSnapCache:   c.cfg.NoSnapCache,
@@ -335,6 +348,29 @@ func (c *Cluster) InvariantSnapshots() []sam.InvariantSnapshot {
 		}
 		<-p.Done()
 		snaps = append(snaps, p.Invariants())
+	}
+	return snaps
+}
+
+// LiveInvariantSnapshots collects a mid-run state summary from each
+// rank's current incarnation through its command queue, without halting
+// the machine. Ranks whose process is dead (killed, mid-respawn) or not
+// yet registered are skipped — callers asserting cluster-wide properties
+// should require len(snaps) == N. The chaos harness uses this to check
+// checkpoint coverage after each recovery round rather than only at the
+// end of a run.
+func (c *Cluster) LiveInvariantSnapshots() []sam.InvariantSnapshot {
+	c.mu.Lock()
+	procs := append([]*sam.Proc(nil), c.procs...)
+	c.mu.Unlock()
+	snaps := make([]sam.InvariantSnapshot, 0, len(procs))
+	for _, p := range procs {
+		if p == nil {
+			continue
+		}
+		if s, ok := p.LiveInvariants(); ok {
+			snaps = append(snaps, s)
+		}
 	}
 	return snaps
 }

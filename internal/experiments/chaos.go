@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"sort"
 
+	"samft/internal/ckptstore"
 	"samft/internal/ft"
 	"samft/internal/sam"
 	"samft/internal/trace"
@@ -38,6 +39,13 @@ type ChaosSpec struct {
 	// duplicates exit notifications.
 	Jitter      bool
 	NotifyChaos bool
+	// Placement selects the checkpoint-copy placement policy under test.
+	Placement ckptstore.Kind
+	// ECData/ECParity erasure-code checkpoint copies (k data + m parity
+	// shards). Schedules must keep simultaneous kills <= ECParity, or the
+	// answer check will rightly fail on unrecoverable objects.
+	ECData   int
+	ECParity int
 	// TraceDir, when set, dumps every schedule's virtual-time trace under
 	// it (one subdirectory per schedule). Failing schedules are dumped
 	// even when TraceDir is empty, to DefaultTraceDir (or the
@@ -147,7 +155,10 @@ func chaosSchedule(spec ChaosSpec, i int) []KillEvent {
 // schedules run concurrently under the RunAll worker bound.
 func RunChaos(spec ChaosSpec) (ChaosResult, error) {
 	spec.fill()
-	base := Spec{App: spec.App, N: spec.N, Policy: ft.PolicySAM, Degree: spec.Degree, Scale: spec.Scale}
+	base := Spec{
+		App: spec.App, N: spec.N, Policy: ft.PolicySAM, Degree: spec.Degree, Scale: spec.Scale,
+		Placement: spec.Placement, ECData: spec.ECData, ECParity: spec.ECParity,
+	}
 	baseline, err := Run(base)
 	if err != nil {
 		return ChaosResult{}, fmt.Errorf("chaos baseline: %w", err)
@@ -217,16 +228,24 @@ func chaosTraceRoot(spec ChaosSpec) string {
 //
 //   - exactly one created main copy per object name across the cluster;
 //   - every non-freeable, checkpointed main copy is backed by at least
-//     min(degree, n-1) up-to-date checkpoint copies on other ranks;
+//     min(degree, n-1) up-to-date checkpoint copies on other ranks — or,
+//     under erasure coding (ecK, ecM both positive and feasible for n),
+//     ecK+ecM distinct up-to-date shards;
+//   - the coverage-repair pass reported no unreparable objects
+//     (InvariantSnapshot.RepairViolations);
 //   - no provisional state survived: no inactive objects, pending copies,
 //     staged private-state replicas, open transactions, or deferred
 //     messages.
-func CheckInvariants(snaps []sam.InvariantSnapshot, n, degree int) []string {
+func CheckInvariants(snaps []sam.InvariantSnapshot, n, degree, ecK, ecM int) []string {
 	var out []string
 	type copyRec struct {
 		rank, owner int
 		seq         int64
+		shard       int
 	}
+	// Mirror ckptstore.NewStore's feasibility rule: an infeasible code is
+	// silently dropped and full replication applies.
+	ec := ecK >= 1 && ecM >= 1 && ecK+ecM <= n-1
 	mains := make(map[uint64][]int)
 	copies := make(map[uint64][]copyRec)
 	for _, s := range snaps {
@@ -235,7 +254,7 @@ func CheckInvariants(snaps []sam.InvariantSnapshot, n, degree int) []string {
 				mains[o.Name] = append(mains[o.Name], s.Rank)
 			}
 			if o.CkptCopy {
-				copies[o.Name] = append(copies[o.Name], copyRec{s.Rank, o.CopyOwner, o.CopySeq})
+				copies[o.Name] = append(copies[o.Name], copyRec{s.Rank, o.CopyOwner, o.CopySeq, o.Shard})
 			}
 			if o.Inactive {
 				out = append(out, fmt.Sprintf("rank %d: object %d left inactive (uncommitted checkpoint data)", s.Rank, o.Name))
@@ -253,6 +272,7 @@ func CheckInvariants(snaps []sam.InvariantSnapshot, n, degree int) []string {
 		if s.DeferredMsgs > 0 {
 			out = append(out, fmt.Sprintf("rank %d: %d messages left deferred behind a transaction", s.Rank, s.DeferredMsgs))
 		}
+		out = append(out, s.RepairViolations...)
 	}
 	for name, ranks := range mains {
 		if len(ranks) > 1 {
@@ -264,16 +284,29 @@ func CheckInvariants(snaps []sam.InvariantSnapshot, n, degree int) []string {
 	if n-1 < want {
 		want = n - 1
 	}
+	if ec {
+		want = ecK + ecM
+	}
 	for _, s := range snaps {
 		for _, o := range s.Objects {
 			if !o.Main || !o.Created || o.Freeable || o.CkptSeq == 0 {
 				continue
 			}
 			got := 0
+			shardsSeen := make(map[int]bool)
 			for _, c := range copies[o.Name] {
-				if c.rank != s.Rank && c.owner == s.Rank && c.seq >= o.CkptSeq {
-					got++
+				if c.rank == s.Rank || c.owner != s.Rank || c.seq < o.CkptSeq {
+					continue
 				}
+				if ec && c.shard > 0 {
+					// Distinct shard indices only: two holders of the same
+					// shard add no erasure redundancy.
+					if shardsSeen[c.shard] {
+						continue
+					}
+					shardsSeen[c.shard] = true
+				}
+				got++
 			}
 			if got < want {
 				out = append(out, fmt.Sprintf(

@@ -13,6 +13,8 @@ import (
 	"os"
 	"strconv"
 	"testing"
+
+	"samft/internal/ckptstore"
 )
 
 // chaosSeed returns the sweep seed, overridable for CI's seed matrix.
@@ -28,21 +30,38 @@ func chaosSeed(t *testing.T) uint64 {
 	return v
 }
 
-func runChaosSweep(t *testing.T, app AppKind) {
-	schedules := 20
-	if testing.Short() {
-		// Under -short keep the fixed archetypes plus a few randomized
-		// schedules; the full 20-schedule sweep runs in CI and via
-		// `ftbench -chaos`.
-		schedules = 6
+// chaosPlacement returns the checkpoint placement policy for the sweep,
+// overridable for CI's (seed, placement) matrix via SAMFT_PLACEMENT
+// (ring, affinity, spread).
+func chaosPlacement(t *testing.T) ckptstore.Kind {
+	k, err := ckptstore.ParseKind(os.Getenv("SAMFT_PLACEMENT"))
+	if err != nil {
+		t.Fatalf("bad SAMFT_PLACEMENT: %v", err)
 	}
-	res, err := RunChaos(ChaosSpec{
-		App:         app,
-		Schedules:   schedules,
-		Seed:        chaosSeed(t),
-		Jitter:      true,
-		NotifyChaos: true,
+	return k
+}
+
+func runChaosSweep(t *testing.T, app AppKind) {
+	runChaosSweepSpec(t, ChaosSpec{
+		App:       app,
+		Seed:      chaosSeed(t),
+		Placement: chaosPlacement(t),
 	})
+}
+
+func runChaosSweepSpec(t *testing.T, spec ChaosSpec) {
+	if spec.Schedules == 0 {
+		spec.Schedules = 20
+		if testing.Short() {
+			// Under -short keep the fixed archetypes plus a few randomized
+			// schedules; the full 20-schedule sweep runs in CI and via
+			// `ftbench -chaos`.
+			spec.Schedules = 6
+		}
+	}
+	spec.Jitter = true
+	spec.NotifyChaos = true
+	res, err := RunChaos(spec)
 	if err != nil {
 		t.Fatalf("chaos sweep: %v", err)
 	}
@@ -63,3 +82,47 @@ func runChaosSweep(t *testing.T, app AppKind) {
 func TestChaosGPS(t *testing.T)    { runChaosSweep(t, GPS) }
 func TestChaosWater(t *testing.T)  { runChaosSweep(t, Water) }
 func TestChaosBarnes(t *testing.T) { runChaosSweep(t, Barnes) }
+
+// The non-default placement policies get a dedicated (shorter) sweep each
+// so every local run covers them even when SAMFT_PLACEMENT is unset; CI's
+// (seed, placement) matrix additionally runs the full per-app sweeps under
+// each policy.
+func TestChaosPlacementAffinity(t *testing.T) {
+	runChaosSweepSpec(t, ChaosSpec{
+		App: GPS, Seed: chaosSeed(t), Schedules: 8, Placement: ckptstore.Affinity,
+	})
+}
+
+func TestChaosPlacementSpread(t *testing.T) {
+	runChaosSweepSpec(t, ChaosSpec{
+		App: GPS, Seed: chaosSeed(t), Schedules: 8, Placement: ckptstore.Spread,
+	})
+}
+
+// Erasure-coded checkpoint copies: N=5 so a (2,2) code fits on the four
+// non-owner ranks, and MaxKills=2 keeps every schedule within the code's
+// loss budget (m=2 simultaneous failures).
+func TestChaosErasureCoding(t *testing.T) {
+	runChaosSweepSpec(t, ChaosSpec{
+		App: GPS, Seed: chaosSeed(t), Schedules: 8,
+		N: 5, Degree: 2, MaxKills: 2, ECData: 2, ECParity: 2,
+	})
+}
+
+// TestChaosRepeatedFailureDecay is the redundancy-decay acceptance
+// scenario: two back-to-back rounds of Degree kills with every rank
+// parked at a step boundary in between (no intervening application-driven
+// checkpoint), surviving only because the coverage ledger proactively
+// re-replicates the copies each round destroys.
+func TestChaosRepeatedFailureDecay(t *testing.T) {
+	res, err := RunDecay(DecaySpec{Placement: chaosPlacement(t)})
+	if err != nil {
+		t.Fatalf("decay run: %v", err)
+	}
+	for _, p := range res.Problems {
+		t.Errorf("%s", p)
+	}
+	if t.Failed() {
+		t.Logf("repair traffic: %d objects, %d bytes", res.RepairObjects, res.RepairBytes)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"samft/internal/apps/gps"
 	"samft/internal/apps/water"
 	"samft/internal/ckpt"
+	"samft/internal/ckptstore"
 	"samft/internal/cluster"
 	"samft/internal/ft"
 	"samft/internal/netsim"
@@ -99,6 +100,13 @@ type Spec struct {
 	Seed uint64
 	// NoSnapCache disables the sam-layer snapshot cache (ablation).
 	NoSnapCache bool
+	// Placement selects the checkpoint-copy placement policy (ring,
+	// affinity, spread); see internal/ckptstore.
+	Placement ckptstore.Kind
+	// ECData/ECParity, when both positive, erasure-code checkpoint copies
+	// as k data + m parity shards (ablation; ignored when k+m > N-1).
+	ECData   int
+	ECParity int
 	// Tracer, when non-nil, records the run's virtual-time event timeline
 	// (see internal/trace); analyze it after Run returns.
 	Tracer *trace.Tracer
@@ -315,6 +323,9 @@ func Run(spec Spec) (Result, error) {
 		Degree:      spec.Degree,
 		EagerFree:   spec.Eager,
 		NoSnapCache: spec.NoSnapCache,
+		Placement:   spec.Placement,
+		ECData:      spec.ECData,
+		ECParity:    spec.ECParity,
 		AppFactory:  factory,
 		Chaos:       chaos,
 		Tracer:      spec.Tracer,
@@ -349,7 +360,7 @@ func Run(spec Spec) (Result, error) {
 			if degree <= 0 {
 				degree = 1
 			}
-			violations = CheckInvariants(cl.InvariantSnapshots(), spec.N, degree)
+			violations = CheckInvariants(cl.InvariantSnapshots(), spec.N, degree, spec.ECData, spec.ECParity)
 		}
 	} else {
 		var err error

@@ -33,30 +33,9 @@ func HomeRank(name uint64, n int) int {
 	return int(fnv1a(name) % uint64(n))
 }
 
-// CheckpointRanks returns the degree ranks that hold checkpoint copies of
-// the named object whose main copy is currently at owner. The result is a
-// deterministic function of (name, owner): every process can compute where
-// a given object's backups live without communication. The owner itself is
-// never chosen. If fewer than degree distinct non-owner ranks exist, all
-// of them are returned.
-func CheckpointRanks(name uint64, owner, n, degree int) []int {
-	if n <= 1 || degree <= 0 {
-		return nil
-	}
-	if degree > n-1 {
-		degree = n - 1
-	}
-	out := make([]int, 0, degree)
-	start := int(fnv1a(name^0x9e3779b97f4a7c15) % uint64(n))
-	for i := 0; len(out) < degree && i < n; i++ {
-		r := (start + i) % n
-		if r == owner {
-			continue
-		}
-		out = append(out, r)
-	}
-	return out
-}
+// Checkpoint-copy placement moved to internal/ckptstore, which owns the
+// policy choice (ring/affinity/spread), the coverage ledger, and repair;
+// its ring policy is bit-compatible with the rule that used to live here.
 
 // PrivateStateRanks returns the degree ranks that hold copies of rank's
 // private state: the next degree ranks in ring order.

@@ -356,42 +356,6 @@ func TestHomeRankStableAndInRange(t *testing.T) {
 	}
 }
 
-func TestCheckpointRanksAvoidOwner(t *testing.T) {
-	for name := uint64(0); name < 500; name++ {
-		for owner := 0; owner < 4; owner++ {
-			rs := CheckpointRanks(name, owner, 4, 1)
-			if len(rs) != 1 {
-				t.Fatalf("degree-1 placement returned %v", rs)
-			}
-			if rs[0] == owner {
-				t.Fatalf("checkpoint copy of %d placed on its owner %d", name, owner)
-			}
-		}
-	}
-}
-
-func TestCheckpointRanksDegree(t *testing.T) {
-	rs := CheckpointRanks(7, 2, 8, 3)
-	if len(rs) != 3 {
-		t.Fatalf("got %v", rs)
-	}
-	seen := map[int]bool{}
-	for _, r := range rs {
-		if r == 2 || seen[r] || r < 0 || r >= 8 {
-			t.Fatalf("bad placement %v", rs)
-		}
-		seen[r] = true
-	}
-	// Degree capped at n-1.
-	if got := CheckpointRanks(7, 0, 3, 99); len(got) != 2 {
-		t.Fatalf("capped degree = %v", got)
-	}
-	// Single process: nowhere to replicate.
-	if got := CheckpointRanks(7, 0, 1, 1); got != nil {
-		t.Fatalf("n=1 placement = %v", got)
-	}
-}
-
 func TestPrivateStateRanks(t *testing.T) {
 	if got := PrivateStateRanks(7, 8, 1); len(got) != 1 || got[0] != 0 {
 		t.Fatalf("ring wrap = %v", got)

@@ -43,7 +43,28 @@ func (p *Proc) cmdCreateAccum(c *cmd) {
 	} else {
 		p.registerLocalOwner(c.name, ft.KindAccum)
 	}
+	// A recovering creator may have received a re-driven migration grant
+	// before this (re-)creation: the home believes that grant is in
+	// flight and will not issue another until it completes, so serve it
+	// now that the main copy exists.
+	p.drainPendingGrants(o)
 	p.reply(c, nil, nil)
+}
+
+// drainPendingGrants replays migration grants that arrived while this
+// process did not yet hold the accumulator's main copy (handleGrant
+// stashes them). Every transition to isMain must drain the stash: a
+// grant left behind keeps the home's grantInFlight set forever and
+// wedges every queued acquirer.
+func (p *Proc) drainPendingGrants(o *object) {
+	if !o.isMain || len(o.pendingGrants) == 0 {
+		return
+	}
+	grants := o.pendingGrants
+	o.pendingGrants = nil
+	for _, g := range grants {
+		p.handleGrant(o.name, g)
+	}
 }
 
 func (p *Proc) cmdUpdateAccum(c *cmd) {
@@ -208,7 +229,8 @@ func (p *Proc) handleGrant(name Name, target int) {
 	if o == nil || !o.isMain {
 		// Either ownership moved on (tell the home who has it now) or we
 		// are recovering and the restored main copy has not arrived yet
-		// (remember the grant; installRecoveredMain replays it).
+		// (remember the grant; a later transition to isMain — restore,
+		// migration-in, or re-creation by a recovering creator — drains it).
 		if o != nil && !o.isMain && o.usable() && o.ownerRank >= 0 && o.ownerRank != p.cfg.Rank {
 			p.send(p.home(name), &wire{Kind: kAccOwner, Name: uint64(name), Target: o.ownerRank})
 			return
@@ -302,6 +324,7 @@ func (p *Proc) serveAccumSnapshot(o *object, requester int) {
 	}
 	body := p.packObject(o)
 	p.st.ObjectSends.Add(1)
+	o.noteSentTo(requester)
 	p.send(requester, &wire{Kind: kAccSnap, Name: uint64(o.name), Body: body})
 }
 
@@ -366,12 +389,16 @@ func (p *Proc) onAccData(w *wire) {
 		o.ckptBytes = w.Body
 		o.ckptMeta = o.meta()
 		o.ckptSeq = w.Seq
-		o.lastCkptHolders = ft.CheckpointRanks(uint64(name), p.cfg.Rank, p.cfg.N, p.cfg.Degree)
+		p.store.Record(uint64(name), w.Seq, unpackHolders(w.Holders))
+		// Grants stashed while we were not the owner become a pending
+		// move now; tryMigrate waits for the activate.
+		p.drainPendingGrants(o)
 		return
 	}
 	o.fetchOutstanding = false
 	o.state = stPresent
 	p.serveLocalWaiters(o)
+	p.drainPendingGrants(o)
 }
 
 func (p *Proc) onAccOwner(w *wire) {

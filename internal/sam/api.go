@@ -23,6 +23,7 @@ const (
 	opPrefetch
 	opGate
 	opFinish
+	opInvariants // harness: mid-run invariant snapshot (LiveInvariants)
 )
 
 // cmd is one application request to the runtime goroutine.
@@ -180,6 +181,8 @@ func (p *Proc) handleCmd(c *cmd) {
 		p.cmdPrefetch(c)
 	case opGate:
 		p.cmdGate(c)
+	case opInvariants:
+		p.reply(c, p.buildInvariants(), nil)
 	case opFinish:
 		p.appFinished = true
 		p.flushUseNotices()

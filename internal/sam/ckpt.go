@@ -3,6 +3,7 @@ package sam
 import (
 	"fmt"
 
+	"samft/internal/ckptstore"
 	"samft/internal/codec"
 	"samft/internal/ft"
 	"samft/internal/trace"
@@ -34,6 +35,10 @@ type ckptTx struct {
 	// deferred to commit so an aborted transaction never drops the only
 	// backup of an object.
 	staleFrees []txPiece
+	// migrHolders are the ledger entries for objects migrating in this
+	// transaction: the copies were placed for the new owner, so the
+	// holder set rides the kAccData wire instead of our ledger.
+	migrHolders map[Name][]ckptstore.Holder
 	// forced marks a transaction performed in response to a
 	// force-checkpoint message.
 	forced bool
@@ -127,10 +132,11 @@ func (p *Proc) maybeStartTx() {
 func (p *Proc) startTx() {
 	seq := p.clocks.BeginCheckpoint()
 	tx := &ckptTx{
-		seq:      seq,
-		inactive: make(map[int]bool),
-		dirtyAt:  make(map[Name]int64),
-		forced:   p.pendingForced,
+		seq:         seq,
+		inactive:    make(map[int]bool),
+		dirtyAt:     make(map[Name]int64),
+		migrHolders: make(map[Name][]ckptstore.Holder),
+		forced:      p.pendingForced,
 	}
 	p.pendingForced = false
 	p.tx = tx
@@ -194,34 +200,66 @@ func (p *Proc) startTx() {
 		if !o.dirty && !isMigrating {
 			continue
 		}
-		holders := ft.CheckpointRanks(uint64(o.name), owner, p.cfg.N, p.cfg.Degree)
+		holders := p.store.Plan(uint64(o.name), owner)
 		ob := p.packObject(o)
 		if o.kind == ft.KindAccum {
 			o.ckptBytes = ob // frozen image for copy re-supply
 		}
 		o.ckptMeta = o.meta()
 		o.ckptSeq = seq
+		ec := p.store.EC()
 		hs := make(map[int]bool, len(holders))
-		for _, h := range holders {
-			hs[h] = true
-			w := &wire{
-				Kind: kCkptCopy, Name: uint64(o.name), Body: ob, Seq: seq,
-				Inactive: o.nonrepro, Meta: o.ckptMeta, HasMeta: true, Owner: owner,
+		recorded := make([]ckptstore.Holder, 0, len(holders))
+		if ec.Enabled() {
+			shards, err := ckptstore.Encode(ec, ob)
+			if err != nil {
+				panic(fmt.Errorf("sam: erasure-encode %v: %w", o.name, err))
 			}
-			p.txSend(h, w, o.nonrepro)
-			p.st.ReplicaObjects.Add(1)
-			p.st.ReplicaBytes.Add(int64(len(ob)))
+			for i, h := range holders {
+				hs[h] = true
+				w := &wire{
+					Kind: kCkptCopy, Name: uint64(o.name), Body: shards[i], Seq: seq,
+					Inactive: o.nonrepro, Meta: o.ckptMeta, HasMeta: true, Owner: owner,
+					Shard: i + 1, ShardK: ec.K, ShardM: ec.M, FrameLen: len(ob),
+				}
+				p.txSend(h, w, o.nonrepro)
+				p.st.ReplicaObjects.Add(1)
+				p.st.ReplicaBytes.Add(int64(len(shards[i])))
+				recorded = append(recorded, ckptstore.Holder{Rank: h, Shard: i + 1})
+			}
+			// Shards are not usable data, so step 4's "already sent as a
+			// checkpoint copy" dedup must not apply: copyHolders stays
+			// unset for this object.
+		} else {
+			for _, h := range holders {
+				hs[h] = true
+				w := &wire{
+					Kind: kCkptCopy, Name: uint64(o.name), Body: ob, Seq: seq,
+					Inactive: o.nonrepro, Meta: o.ckptMeta, HasMeta: true, Owner: owner,
+				}
+				p.txSend(h, w, o.nonrepro)
+				p.st.ReplicaObjects.Add(1)
+				p.st.ReplicaBytes.Add(int64(len(ob)))
+				o.noteSentTo(h) // the copy doubles as a cached frame there
+				recorded = append(recorded, ckptstore.Holder{Rank: h})
+			}
+			copyHolders[o.name] = hs
 		}
-		copyHolders[o.name] = hs
 		// Stale holders from a previous placement drop their copies at
 		// commit (dropping earlier could destroy the only backup if this
 		// transaction aborts).
-		for _, old := range o.lastCkptHolders {
+		for _, old := range p.store.HolderRanks(uint64(o.name)) {
 			if !hs[old] {
 				tx.staleFrees = append(tx.staleFrees, txPiece{rank: old, w: &wire{Kind: kFreeCkpt, Name: uint64(o.name), Seq: seq}})
 			}
 		}
-		o.lastCkptHolders = holders
+		if isMigrating {
+			// The ledger entry travels to the new owner on the kAccData
+			// wire (step 4); ours is dropped when the migration commits.
+			tx.migrHolders[o.name] = recorded
+		} else {
+			p.store.Record(uint64(o.name), seq, recorded)
+		}
 		tx.dirtyAt[o.name] = o.dirtySeq
 	}
 
@@ -245,6 +283,7 @@ func (p *Proc) startTx() {
 			ob := p.packObject(o)
 			p.st.ObjectSends.Add(1)
 			p.st.CkptCausingSends.Add(1)
+			o.noteSentTo(t.target)
 			w := &wire{Kind: t.kind, Name: uint64(t.name), Body: ob, Inactive: true, Seq: seq, Target: t.target}
 			p.txSend(t.target, w, true)
 		case kAccData:
@@ -258,7 +297,11 @@ func (p *Proc) startTx() {
 			}
 			p.st.ObjectSends.Add(1)
 			p.st.CkptCausingSends.Add(1)
-			w := &wire{Kind: kAccData, Name: uint64(t.name), Body: ob, Inactive: true, Seq: seq, Target: t.target, Meta: o.meta(), HasMeta: true}
+			w := &wire{
+				Kind: kAccData, Name: uint64(t.name), Body: ob, Inactive: true, Seq: seq,
+				Target: t.target, Meta: o.meta(), HasMeta: true,
+				Holders: packHolders(tx.migrHolders[t.name]),
+			}
 			p.txSend(t.target, w, true)
 			o.pendingMove = t.target // block further local locks until commit
 			tx.migrations = append(tx.migrations, txMigration{name: t.name, target: t.target})
@@ -270,6 +313,7 @@ func (p *Proc) startTx() {
 			ob := p.packObject(o)
 			p.st.ObjectSends.Add(1)
 			p.st.CkptCausingSends.Add(1)
+			o.noteSentTo(t.target)
 			w := &wire{Kind: kAccSnap, Name: uint64(t.name), Body: ob, Inactive: true, Seq: seq}
 			p.txSend(t.target, w, true)
 		}
@@ -351,6 +395,7 @@ func (p *Proc) commitTx() {
 		}
 	}
 	for _, m := range tx.migrations {
+		p.store.Forget(uint64(m.name))
 		if o := p.objs[m.name]; o != nil && o.isMain {
 			o.isMain = false
 			o.accLocked = false
@@ -387,6 +432,9 @@ func (p *Proc) commitTx() {
 	}
 
 	p.retryFrees()
+	// Coverage repairs deferred while this transaction was open (its
+	// images were provisional) can proceed against the committed state.
+	p.repairCoverage()
 	p.maybeStartTx()
 }
 
@@ -487,10 +535,12 @@ func (p *Proc) forceOldestFrees() {
 // copy is finally freed").
 func (p *Proc) doFree(o *object) {
 	delete(p.objs, o.name)
+	delete(p.repairPending, o.name)
 	p.clocks.Tick()
-	for _, h := range o.lastCkptHolders {
+	for _, h := range p.store.HolderRanks(uint64(o.name)) {
 		p.send(h, &wire{Kind: kFreeCkpt, Name: uint64(o.name), Seq: o.ckptSeq})
 	}
+	p.store.Forget(uint64(o.name))
 }
 
 // ---- message handlers ----
@@ -522,8 +572,14 @@ func (p *Proc) ackPiece(w *wire) {
 }
 
 func (p *Proc) onCkptCopy(w *wire) {
+	if w.Shard > 0 {
+		p.onCkptShard(w)
+		return
+	}
 	name := Name(w.Name)
 	o := p.obj(name)
+	if w.HasMeta && ft.ObjKind(w.Meta.Kind) == ft.KindAccum {
+	}
 	// Accept unless we hold the main copy *and* the copy backs our own
 	// ownership (then our live object is authoritative). A copy naming a
 	// different owner is accepted even while we are still the owner: it
@@ -552,6 +608,53 @@ func (p *Proc) onCkptCopy(w *wire) {
 	}
 }
 
+// onCkptShard handles an erasure-coded checkpoint piece: same acceptance
+// protocol as a full copy (including two-phase inactive/activate), but
+// the stored bytes are one Reed–Solomon shard of the owner's frame, not
+// a usable image.
+func (p *Proc) onCkptShard(w *wire) {
+	name := Name(w.Name)
+	o := p.obj(name)
+	if !o.isMain || w.Owner != p.cfg.Rank {
+		// A shard never carries usable data, so the acceptance rule keys
+		// on whether any backing copy exists rather than copyData.
+		accept := !o.ckptCopy
+		if !accept && w.HasMeta {
+			accept = w.Meta.Version >= o.savedMeta.Version
+		}
+		if !accept {
+			accept = w.Owner != o.copyOwner || w.Seq >= o.copySeq
+		}
+		if accept {
+			if w.Inactive {
+				o.pendingCopy = w
+			} else {
+				p.applyCkptShard(o, w)
+			}
+		}
+	}
+	if w.Inactive {
+		p.ackPiece(w)
+	}
+}
+
+// applyCkptShard installs an erasure shard as the backing checkpoint
+// copy. Unlike a full copy it is opaque: it never populates the cache
+// (copyData stays nil, o.data untouched) and only participates in
+// recovery reassembly.
+func (p *Proc) applyCkptShard(o *object, w *wire) {
+	o.ckptCopy = true
+	o.copyOwner = w.Owner
+	o.copySeq = w.Seq
+	o.copyData = nil
+	o.copyBytes = w.Body
+	o.shardIdx, o.shardK, o.shardM, o.frameLen = w.Shard, w.ShardK, w.ShardM, w.FrameLen
+	if w.HasMeta {
+		o.savedMeta = w.Meta
+		o.kind = ft.ObjKind(w.Meta.Kind)
+	}
+}
+
 // applyCkptCopy installs a checkpoint copy. The copy lives in the cache
 // and is usable for local reads like any cached data — the paper's core
 // efficiency argument.
@@ -565,6 +668,7 @@ func (p *Proc) applyCkptCopy(o *object, w *wire) {
 	o.copySeq = w.Seq
 	o.copyData = data
 	o.copyBytes = w.Body
+	o.shardIdx, o.shardK, o.shardM, o.frameLen = 0, 0, 0, 0
 	o.invalidatePackCache() // contents now come from the owner's frame
 	if w.HasMeta {
 		o.savedMeta = w.Meta
@@ -618,6 +722,8 @@ func (p *Proc) onActivate(w *wire) {
 		if o.state == stInactive && o.inactiveFrom == w.SrcRank && o.inactiveSeq == w.Seq {
 			o.state = stPresent
 			o.fetchOutstanding = false
+			if o.kind == ft.KindAccum {
+			}
 			p.serveLocalWaiters(o) // grants a parked local acquire first
 			p.serveRemoteWaiters(o)
 			if o.kind == ft.KindAccum && o.isMain {
@@ -627,7 +733,11 @@ func (p *Proc) onActivate(w *wire) {
 		if o.pendingCopy != nil && o.pendingCopy.SrcRank == w.SrcRank && o.pendingCopy.Seq == w.Seq {
 			pc := o.pendingCopy
 			o.pendingCopy = nil
-			p.applyCkptCopy(o, pc)
+			if pc.Shard > 0 {
+				p.applyCkptShard(o, pc)
+			} else {
+				p.applyCkptCopy(o, pc)
+			}
 		}
 	}
 	p.evictIfNeeded()
@@ -674,6 +784,7 @@ func (p *Proc) onFreeCkpt(w *wire) {
 	o.copyData = nil
 	o.copyBytes = nil
 	o.pendingCopy = nil
+	o.shardIdx, o.shardK, o.shardM, o.frameLen = 0, 0, 0, 0
 	// If the entry is nothing but the dropped copy, remove it entirely;
 	// if it also serves as a cached copy, the cache keeps it until LRU
 	// eviction, like any other cached object.

@@ -1,10 +1,13 @@
 package sam
 
-// Post-run invariant snapshots. The chaos harness uses these to check
-// that a run that survived injected failures ended in a consistent state:
-// exactly one created main copy per object across the cluster, checkpoint
-// coverage at the replication degree, and no provisional (uncommitted)
-// state left behind.
+// Invariant snapshots. The chaos harness uses these to check that a run
+// that survived injected failures is in a consistent state: exactly one
+// created main copy per object across the cluster, checkpoint coverage
+// at the replication degree, and no provisional (uncommitted) state left
+// behind. Snapshots can be taken after the runtime exits (Invariants) or
+// mid-run through the command queue (LiveInvariants), which the chaos
+// harness uses to assert coverage after every recovery round rather than
+// only at the end of a run.
 
 // ObjectInvariant is the externally checkable slice of one object entry.
 type ObjectInvariant struct {
@@ -18,16 +21,21 @@ type ObjectInvariant struct {
 	// (0 = never checkpointed).
 	CkptSeq int64
 	// CkptCopy entries back rank CopyOwner's main copy as of CopySeq.
+	// Under erasure coding the copy is shard Shard (1-based) of a
+	// (ShardK, ShardM) code; Shard 0 is a full-frame copy.
 	CkptCopy  bool
 	CopyOwner int
 	CopySeq   int64
+	Shard     int
+	ShardK    int
+	ShardM    int
 	// Inactive and PendingCopy mark provisional state from an uncommitted
 	// checkpoint transaction; none may survive a completed run.
 	Inactive    bool
 	PendingCopy bool
 }
 
-// InvariantSnapshot is one process's end-of-run state summary.
+// InvariantSnapshot is one process's state summary.
 type InvariantSnapshot struct {
 	Rank    int
 	Objects []ObjectInvariant
@@ -38,20 +46,30 @@ type InvariantSnapshot struct {
 	StagedPriv   int
 	OpenTx       bool
 	DeferredMsgs int
+	// DeadRanks counts peers known dead and not yet replaced at snapshot
+	// time; coverage assertions only apply when the cluster is whole.
+	DeadRanks int
+	// RepairViolations lists objects the coverage-repair pass could not
+	// restore to the target redundancy with the cluster whole. Any entry
+	// fails the chaos sweep.
+	RepairViolations []string
+	// Recoveries counts recovery rounds this process has completed (as
+	// contributor or restartee), letting pollers detect quiescence.
+	Recoveries int64
 }
 
-// Invariants summarizes this process's object table for post-run checks.
-// It touches runtime-goroutine state without locking, so it must only be
-// called after the runtime has exited (wait on Done(), e.g. after the
-// harness halts the machine).
-func (p *Proc) Invariants() InvariantSnapshot {
+func (p *Proc) buildInvariants() InvariantSnapshot {
 	s := InvariantSnapshot{
-		Rank:         p.cfg.Rank,
-		StagedPriv:   len(p.privStaging),
-		OpenTx:       p.tx != nil,
-		DeferredMsgs: len(p.deferredMsgs),
+		Rank:             p.cfg.Rank,
+		StagedPriv:       len(p.privStaging),
+		OpenTx:           p.tx != nil,
+		DeferredMsgs:     len(p.deferredMsgs),
+		DeadRanks:        len(p.deadRanks),
+		RepairViolations: append([]string(nil), p.repairViolations...),
+		Recoveries:       p.st.Recoveries.Load(),
 	}
-	for _, o := range p.objs {
+	for _, name := range sortedKeys(p.objs) {
+		o := p.objs[name]
 		s.Objects = append(s.Objects, ObjectInvariant{
 			Name:        uint64(o.name),
 			Main:        o.isMain,
@@ -61,9 +79,41 @@ func (p *Proc) Invariants() InvariantSnapshot {
 			CkptCopy:    o.ckptCopy,
 			CopyOwner:   o.copyOwner,
 			CopySeq:     o.copySeq,
+			Shard:       o.shardIdx,
+			ShardK:      o.shardK,
+			ShardM:      o.shardM,
 			Inactive:    o.state == stInactive,
 			PendingCopy: o.pendingCopy != nil,
 		})
 	}
 	return s
+}
+
+// Invariants summarizes this process's object table for post-run checks.
+// It touches runtime-goroutine state without locking, so it must only be
+// called after the runtime has exited (wait on Done(), e.g. after the
+// harness halts the machine).
+func (p *Proc) Invariants() InvariantSnapshot {
+	return p.buildInvariants()
+}
+
+// LiveInvariants takes a snapshot through the command queue while the
+// runtime is still executing, so chaos sweeps can assert coverage between
+// recovery rounds. It returns ok=false if the process is dead (killed or
+// exited) instead of panicking like application commands do — the caller
+// is the harness, not the application.
+func (p *Proc) LiveInvariants() (InvariantSnapshot, bool) {
+	c := &cmd{op: opInvariants, res: make(chan cmdResult, 1)}
+	select {
+	case p.cmdq <- c:
+	case <-p.deadc:
+		return InvariantSnapshot{}, false
+	}
+	select {
+	case r := <-c.res:
+		snap, ok := r.obj.(InvariantSnapshot)
+		return snap, ok
+	case <-p.deadc:
+		return InvariantSnapshot{}, false
+	}
 }

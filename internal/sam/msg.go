@@ -128,6 +128,20 @@ type wire struct {
 	// Fresh marks a kRecoverPriv that carries no state: the failed rank
 	// had never checkpointed and must restart from Init.
 	Fresh bool
+	// Erasure-coded checkpoint copies (kCkptCopy/kRecoverData): Shard is
+	// the 1-based shard index Body holds (0 = full frame), cut as
+	// (ShardK, ShardM) Reed–Solomon over a packed frame of FrameLen
+	// bytes.
+	Shard    int
+	ShardK   int
+	ShardM   int
+	FrameLen int
+	// Holders carries a packed coverage-ledger entry on kAccData
+	// migrations: the checkpoint-copy holders the sender placed for the
+	// new owner (rank<<16 | shard). Affinity placement is not
+	// recomputable by the receiver, so the holder set must travel with
+	// the ownership transfer.
+	Holders []int64
 	// Stamp piggyback (§4.3), delta-encoded (ft.DeltaStamp). HasStamp
 	// gates absorption: a stamp may legitimately carry no entries (nothing
 	// changed since the last message to this destination). StampT is the

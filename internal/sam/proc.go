@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"samft/internal/ckptstore"
 	"samft/internal/codec"
 	"samft/internal/ft"
 	"samft/internal/netsim"
@@ -50,6 +51,24 @@ type Proc struct {
 	appFinished  bool
 
 	// Fault tolerance.
+	// store is the replicated checkpoint store: placement policy plus the
+	// coverage ledger for this process's owned objects.
+	store *ckptstore.Store
+	// repairPending names owned objects whose ledgered coverage dropped
+	// (a holder's incarnation was replaced) or was freshly rebuilt after
+	// our own recovery; repairCoverage drains it.
+	repairPending map[Name]bool
+	// repairViolations records objects left under-replicated after repair
+	// quiesced with no unreplaced dead ranks — an invariant breach the
+	// chaos harness turns into a failure.
+	repairViolations []string
+	// shardAsm reassembles erasure-coded kRecoverData shards per object
+	// until k of them allow a decode.
+	shardAsm map[Name]*shardAsm
+	// recoverContrib records which rank contributed which copy (and
+	// shard) for each recovered object, so the rebuilt ledger reflects
+	// the holders that actually exist rather than a recomputed placement.
+	recoverContrib  map[Name]map[int]holderAt
 	tx              *ckptTx
 	pendingTriggers []trigger
 	pendingForced   bool
@@ -158,7 +177,18 @@ func NewProc(task *pvm.Task, cfg Config) *Proc {
 		relayedFail:      make(map[failKey]bool),
 		contributedTo:    make(map[int]netsim.TID),
 		pendingContrib:   make(map[int]bool),
+		repairPending:    make(map[Name]bool),
+		shardAsm:         make(map[Name]*shardAsm),
+		recoverContrib:   make(map[Name]map[int]holderAt),
 	}
+	p.store = ckptstore.NewStore(ckptstore.Config{
+		Rank:   cfg.Rank,
+		N:      cfg.N,
+		Degree: cfg.Degree,
+		Policy: cfg.Placement,
+		EC:     ckptstore.ECParams{K: cfg.ECData, M: cfg.ECParity},
+		View:   ckptstore.View{N: cfg.N, CachedAt: p.cachedRanks},
+	})
 	if cfg.Recovering {
 		p.restore = newRestoreState()
 	}

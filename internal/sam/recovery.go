@@ -213,6 +213,14 @@ func (p *Proc) installNewIncarnation(rank int, newTID netsim.TID) {
 	// checkpoint: it recovers from its last *committed* state.
 	p.dropProvisionalFrom(rank)
 
+	// Whatever committed checkpoint copies the dead incarnation held are
+	// gone with its memory: strike it from the coverage ledger and queue
+	// the affected objects for proactive repair (run when we contribute
+	// to the replacement's recovery, once our own tables are usable).
+	for _, name := range p.store.DropRank(rank) {
+		p.repairPending[Name(name)] = true
+	}
+
 	// If this process is itself mid-recovery, the failed rank's
 	// contribution — including its kRecoverFin — may have been lost with
 	// it (sent to our current incarnation or never sent at all). Ask the
@@ -299,36 +307,20 @@ func (p *Proc) contributeRecovery(rank int) {
 		// Checkpoint copies whose main copy was at the failed process:
 		// restore them (the new process again holds the main copy).
 		if o.ckptCopy && o.copyOwner == rank {
-			p.send(rank, &wire{
+			w := &wire{
 				Kind: kRecoverData, Name: uint64(o.name), Body: o.copyBytes,
 				Meta: o.savedMeta, HasMeta: true, Seq: o.copySeq,
-			})
+			}
+			if o.shardIdx > 0 {
+				w.Shard, w.ShardK, w.ShardM, w.FrameLen = o.shardIdx, o.shardK, o.shardM, o.frameLen
+			}
+			p.send(rank, w)
 		}
 		if o.isMain && o.created {
-			// Main copies whose checkpoint copy lived on the failed
-			// process: send a fresh (covered) checkpoint copy.
-			for _, h := range ft.CheckpointRanks(uint64(o.name), p.cfg.Rank, p.cfg.N, p.cfg.Degree) {
-				if h != rank {
-					continue
-				}
-				body := o.ckptBytes
-				if body == nil && !o.dirty && o.kind == ft.KindValue {
-					// Values are immutable: the current contents equal the
-					// checkpointed image.
-					b, err := codec.Pack(o.data)
-					if err == nil {
-						body = b
-					}
-				}
-				if body != nil && o.ckptSeq > 0 {
-					p.send(rank, &wire{
-						Kind: kCkptCopy, Name: uint64(o.name), Body: body,
-						Seq: o.ckptSeq, Meta: o.ckptMeta, HasMeta: true, Piece: -1,
-						Owner: p.cfg.Rank,
-					})
-				}
-			}
-			// Directory information homed at the failed process.
+			// Directory information homed at the failed process. (Main
+			// copies whose checkpoint copies died with it are re-supplied
+			// by the ledger-driven repair pass below, which also covers
+			// non-ring placements the old recomputation could not name.)
 			if p.home(o.name) == rank {
 				p.send(rank, &wire{Kind: kDirReport, Name: uint64(o.name), Meta: o.meta(), HasMeta: true})
 			}
@@ -387,6 +379,12 @@ func (p *Proc) contributeRecovery(rank int) {
 			}
 		}
 	}
+
+	// Proactively restore coverage for our own objects whose copies died
+	// with the failed incarnation (queued by installNewIncarnation's
+	// ledger DropRank). The repair copies may target the restarted rank
+	// or, under affinity/spread placement, any other live rank.
+	p.repairCoverage()
 
 	// Everything this survivor contributes has been sent; the new process
 	// decides orphan ownership once all contributions are in.
@@ -459,6 +457,18 @@ func (p *Proc) onRecoverPriv(w *wire) {
 }
 
 func (p *Proc) onRecoverData(w *wire) {
+	p.noteRecoverContrib(w)
+	if w.Shard > 0 {
+		// An erasure shard: fold it into the assembler; only a decoded
+		// full frame proceeds into the install paths below.
+		if p.recoverInstalled[Name(w.Name)] {
+			return
+		}
+		w = p.assembleShards(w)
+		if w == nil {
+			return
+		}
+	}
 	if p.restore != nil && !p.restore.done {
 		name := Name(w.Name)
 		prev := p.restore.data[name]
@@ -522,6 +532,7 @@ func (p *Proc) onOwnerReport(w *wire) {
 	if d, ok := p.unconfirmedData[name]; ok {
 		delete(p.unconfirmedData, name)
 		p.installRecoveredMain(d, nil)
+		p.repairCoverage()
 	}
 }
 
@@ -593,6 +604,7 @@ func (p *Proc) decideOrphans() {
 	for _, w := range qs {
 		p.onOwnerQuery(w)
 	}
+	p.repairCoverage()
 }
 
 // sendOwnerQuery asks an object's home whether the most recent committed
@@ -686,6 +698,7 @@ func (p *Proc) checkRestoreComplete() {
 		}
 		p.restorec <- restoreResult{fresh: true}
 		p.flushPendingContrib()
+		p.repairCoverage()
 		return
 	}
 	metaFor := make(map[Name]ft.ObjectMeta, len(rs.priv.Owned))
@@ -731,6 +744,7 @@ func (p *Proc) checkRestoreComplete() {
 	}
 	p.restorec <- restoreResult{fresh: false, steps: priv.StepsDone, snap: priv.AppState}
 	p.flushPendingContrib()
+	p.repairCoverage()
 }
 
 // installRecoveredMain re-creates the main copy of an object from a
@@ -765,7 +779,11 @@ func (p *Proc) installRecoveredMain(w *wire, meta *ft.ObjectMeta) {
 	}
 	o.ckptMeta = o.meta()
 	o.ckptSeq = w.Seq
-	o.lastCkptHolders = ft.CheckpointRanks(uint64(name), p.cfg.Rank, p.cfg.N, p.cfg.Degree)
+	// Rebuild the coverage ledger from the contributions that actually
+	// arrived — the holders that exist, not a recomputed placement — and
+	// queue a repair pass to top the set back up to full coverage.
+	p.store.Record(uint64(name), w.Seq, p.takeRecoverHolders(name, w.Seq))
+	p.repairPending[name] = true
 	o.pendingMove = -1
 	p.touch(o)
 
@@ -782,9 +800,5 @@ func (p *Proc) installRecoveredMain(w *wire, meta *ft.ObjectMeta) {
 	p.serveLocalWaiters(o)
 	p.serveRemoteWaiters(o)
 	// Serve migration grants that raced ahead of the restoration.
-	grants := o.pendingGrants
-	o.pendingGrants = nil
-	for _, g := range grants {
-		p.handleGrant(name, g)
-	}
+	p.drainPendingGrants(o)
 }

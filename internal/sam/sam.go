@@ -26,6 +26,7 @@ package sam
 import (
 	"fmt"
 
+	"samft/internal/ckptstore"
 	"samft/internal/ft"
 	"samft/internal/pvm"
 	"samft/internal/stats"
@@ -68,6 +69,18 @@ type Config struct {
 	// Degree is the replication degree n of §4.2 (default 1): the number
 	// of simultaneous host failures that remain recoverable.
 	Degree int
+	// Placement selects the ckptstore checkpoint-copy placement policy
+	// (ring, the paper's rule and the default; affinity; spread).
+	Placement ckptstore.Kind
+	// ECData/ECParity, when both positive, switch object checkpoint
+	// copies to Reed–Solomon erasure coding: each packed frame is cut
+	// into ECData data shards plus ECParity parity shards on distinct
+	// ranks, surviving ECParity simultaneous losses at a fraction of full
+	// replication's memory. Ignored (full replication) when the cluster
+	// is too small to hold ECData+ECParity shards on non-owner ranks.
+	// Private state stays fully replicated at Degree either way.
+	ECData   int
+	ECParity int
 	// LazyFree enables the §4.3 virtual-time protocol for freeing main
 	// copies (default). When false, every free performs an eager
 	// round-trip to all processes — the ablation baseline.

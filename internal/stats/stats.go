@@ -46,6 +46,11 @@ type Proc struct {
 	SnapCacheBytesSaved atomic.Int64
 	// PrivBytes counts private-state bytes replicated.
 	PrivBytes atomic.Int64
+	// RepairObjects / RepairBytes count proactive coverage repairs: the
+	// checkpoint copies (or erasure shards) re-replicated after a failure
+	// destroyed holders, outside any checkpoint transaction.
+	RepairObjects atomic.Int64
+	RepairBytes   atomic.Int64
 	// Recoveries counts recoveries this process coordinated.
 	Recoveries atomic.Int64
 	// StepsExecuted counts application steps completed (including replays).
@@ -67,6 +72,8 @@ type Snapshot struct {
 	SnapCacheMisses     int64
 	SnapCacheBytesSaved int64
 	PrivBytes           int64
+	RepairObjects       int64
+	RepairBytes         int64
 	Recoveries          int64
 	StepsExecuted       int64
 }
@@ -87,6 +94,8 @@ func (p *Proc) Snapshot() Snapshot {
 		SnapCacheMisses:     p.SnapCacheMisses.Load(),
 		SnapCacheBytesSaved: p.SnapCacheBytesSaved.Load(),
 		PrivBytes:           p.PrivBytes.Load(),
+		RepairObjects:       p.RepairObjects.Load(),
+		RepairBytes:         p.RepairBytes.Load(),
 		Recoveries:          p.Recoveries.Load(),
 		StepsExecuted:       p.StepsExecuted.Load(),
 	}
@@ -107,6 +116,8 @@ func (s *Snapshot) Add(o Snapshot) {
 	s.SnapCacheMisses += o.SnapCacheMisses
 	s.SnapCacheBytesSaved += o.SnapCacheBytesSaved
 	s.PrivBytes += o.PrivBytes
+	s.RepairObjects += o.RepairObjects
+	s.RepairBytes += o.RepairBytes
 	s.Recoveries += o.Recoveries
 	s.StepsExecuted += o.StepsExecuted
 }
@@ -131,6 +142,8 @@ func (s Snapshot) Delta(prev Snapshot) Snapshot {
 		SnapCacheMisses:     s.SnapCacheMisses - prev.SnapCacheMisses,
 		SnapCacheBytesSaved: s.SnapCacheBytesSaved - prev.SnapCacheBytesSaved,
 		PrivBytes:           s.PrivBytes - prev.PrivBytes,
+		RepairObjects:       s.RepairObjects - prev.RepairObjects,
+		RepairBytes:         s.RepairBytes - prev.RepairBytes,
 		Recoveries:          s.Recoveries - prev.Recoveries,
 		StepsExecuted:       s.StepsExecuted - prev.StepsExecuted,
 	}
