@@ -237,10 +237,9 @@ func chaos(scale experiments.Scale, seed uint64, schedules int, traceDir string,
 			Jitter: true, NotifyChaos: true, TraceDir: traceDir,
 		}
 		if store.ecK > 0 {
-			// A (k,m) code survives at most m simultaneous losses, so the
-			// schedules must stay within the code's budget, and the shards
-			// need N-1 >= k+m non-owner ranks to land on.
-			spec.MaxKills = store.ecM
+			// The shards need N-1 >= k+m non-owner ranks to land on. (The
+			// schedule generator itself caps distinct victims at the code's
+			// m-loss budget, so MaxKills needs no forcing here.)
 			spec.N = store.ecK + store.ecM + 1
 		}
 		res, err := experiments.RunChaos(spec)

@@ -1,33 +1,200 @@
-// Command samrun runs one of the paper's applications on the simulated
-// cluster with configurable size and fault-tolerance policy, printing the
-// application answer, modeled runtime, and FT statistics.
+// Command samrun runs the paper's applications on the simulated cluster.
 //
-// Usage:
+// Subcommands:
 //
-//	samrun -app water -n 8 -ft sam
-//	samrun -app barnes -n 4 -ft off -scale paper
+//	samrun run scenario.json        execute one declarative scenario
+//	samrun validate a.json b.json   check scenario files, print positioned errors
+//	samrun campaign scenarios/      run every scenario in a directory
+//	samrun single [flags]           one ad-hoc run from flags (also the
+//	                                default when the first arg is a flag)
+//
+// Legacy flag invocations (samrun -app water -n 8 -ft sam) keep working
+// via the implicit "single" subcommand.
+//
+// Exit status: 0 success; 1 a scenario failed its assertions or the run
+// errored; 2 bad usage (unknown flag value, malformed scenario file).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"samft/internal/experiments"
 	"samft/internal/ft"
+	"samft/internal/scenario"
 )
 
 func main() {
-	appFlag := flag.String("app", "gps", "application: gps|water|barnes")
-	n := flag.Int("n", 4, "number of simulated workstations")
-	ftFlag := flag.String("ft", "sam", "fault tolerance: off|sam|naive")
-	scaleFlag := flag.String("scale", "small", "workload scale: small|paper")
-	degree := flag.Int("degree", 1, "replication degree")
-	kill := flag.Int("kill", -1, "rank to kill mid-run (-1: none)")
-	flag.Parse()
+	args := os.Args[1:]
+	cmd := "single"
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		cmd, args = args[0], args[1:]
+	}
+	switch cmd {
+	case "single":
+		os.Exit(runSingle(args))
+	case "run":
+		os.Exit(runScenarios(args, false))
+	case "campaign":
+		os.Exit(runScenarios(args, true))
+	case "validate":
+		os.Exit(runValidate(args))
+	case "help", "-h", "-help", "--help":
+		usage(os.Stdout)
+	default:
+		fmt.Fprintf(os.Stderr, "samrun: unknown subcommand %q\n\n", cmd)
+		usage(os.Stderr)
+		os.Exit(2)
+	}
+}
 
-	spec := experiments.Spec{N: *n, Degree: *degree}
-	switch *appFlag {
+func usage(w *os.File) {
+	fmt.Fprint(w, `usage:
+  samrun run <scenario.json> [...]     execute scenario files
+  samrun validate <scenario.json> [...]  check files without running
+  samrun campaign <dir>                run every *.json scenario in dir
+  samrun single [flags]                one ad-hoc run (default subcommand)
+
+run/campaign flags:
+  -trace-dir DIR   dump every run's trace under DIR (default: only failing
+                   runs dump, under $SAMFT_TRACE_DIR or chaos-traces)
+
+single flags:
+`)
+	fs := singleFlags()
+	fs.SetOutput(w)
+	fs.PrintDefaults()
+}
+
+// runValidate loads each file and prints every positioned diagnostic.
+func runValidate(args []string) int {
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "samrun validate: no scenario files given")
+		return 2
+	}
+	bad := 0
+	for _, path := range args {
+		if _, err := scenario.LoadFile(path); err != nil {
+			bad++
+			fmt.Fprintln(os.Stderr, err)
+			continue
+		}
+		fmt.Printf("ok   %s\n", path)
+	}
+	if bad > 0 {
+		return 2
+	}
+	return 0
+}
+
+// runScenarios executes scenario files ("run") or a directory of them
+// ("campaign") and reports each outcome.
+func runScenarios(args []string, campaign bool) int {
+	name := "run"
+	if campaign {
+		name = "campaign"
+	}
+	fs := flag.NewFlagSet("samrun "+name, flag.ContinueOnError)
+	traceDir := fs.String("trace-dir", "", "dump every run's trace under this directory (not just failing runs)")
+	verbose := fs.Bool("v", false, "print trace locations for passing runs too")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	args = fs.Args()
+	if len(args) == 0 {
+		fmt.Fprintf(os.Stderr, "samrun %s: no scenario %s given\n", name, map[bool]string{true: "directory", false: "files"}[campaign])
+		return 2
+	}
+
+	var compiled []scenario.Compiled
+	bad := 0
+	load := func(path string) {
+		s, err := scenario.LoadFile(path)
+		if err != nil {
+			bad++
+			fmt.Fprintln(os.Stderr, err)
+			return
+		}
+		compiled = append(compiled, scenario.Compile(s, path))
+	}
+	if campaign {
+		if len(args) != 1 {
+			fmt.Fprintln(os.Stderr, "samrun campaign: want exactly one scenario directory")
+			return 2
+		}
+		scenarios, paths, errs := scenario.LoadDir(args[0])
+		for _, err := range errs {
+			bad++
+			fmt.Fprintln(os.Stderr, err)
+		}
+		for i, s := range scenarios {
+			compiled = append(compiled, scenario.Compile(s, paths[i]))
+		}
+	} else {
+		for _, path := range args {
+			load(path)
+		}
+	}
+	if bad > 0 {
+		return 2
+	}
+
+	outs, err := scenario.RunSet(compiled, *traceDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "samrun:", err)
+		return 1
+	}
+	failed := 0
+	for _, o := range outs {
+		o.Print(os.Stdout, *verbose)
+		if o.Failed() {
+			failed++
+		}
+	}
+	fmt.Printf("%d scenarios, %d failed\n", len(outs), failed)
+	if failed > 0 {
+		return 1
+	}
+	return 0
+}
+
+// singleOpts holds the ad-hoc "single" subcommand's flags; singleFlags
+// binds them so usage and parsing share one definition.
+type singleOpts struct {
+	app, ft, scale string
+	n, degree      int
+	kill           int
+}
+
+func singleFlags() *flag.FlagSet {
+	fs, _ := bindSingleFlags()
+	return fs
+}
+
+func bindSingleFlags() (*flag.FlagSet, *singleOpts) {
+	fs := flag.NewFlagSet("samrun single", flag.ContinueOnError)
+	o := &singleOpts{}
+	fs.StringVar(&o.app, "app", "gps", "application: gps|water|barnes")
+	fs.IntVar(&o.n, "n", 4, "number of simulated workstations")
+	fs.StringVar(&o.ft, "ft", "sam", "fault tolerance: off|sam|naive")
+	fs.StringVar(&o.scale, "scale", "small", "workload scale: small|paper")
+	fs.IntVar(&o.degree, "degree", 1, "replication degree")
+	fs.IntVar(&o.kill, "kill", -1, "rank to kill mid-run (-1: none)")
+	return fs, o
+}
+
+func runSingle(args []string) int {
+	fs, o := bindSingleFlags()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	appFlag, ftFlag, scaleFlag := o.app, o.ft, o.scale
+	n, degree, kill := o.n, o.degree, o.kill
+
+	spec := experiments.Spec{N: n, Degree: degree}
+	switch appFlag {
 	case "gps":
 		spec.App = experiments.GPS
 	case "water":
@@ -35,10 +202,10 @@ func main() {
 	case "barnes":
 		spec.App = experiments.Barnes
 	default:
-		fmt.Fprintln(os.Stderr, "unknown app:", *appFlag)
-		os.Exit(2)
+		fmt.Fprintln(os.Stderr, "samrun: unknown app:", appFlag)
+		return 2
 	}
-	switch *ftFlag {
+	switch ftFlag {
 	case "off":
 		spec.Policy = ft.PolicyOff
 	case "sam":
@@ -46,20 +213,33 @@ func main() {
 	case "naive":
 		spec.Policy = ft.PolicyNaive
 	default:
-		fmt.Fprintln(os.Stderr, "unknown ft policy:", *ftFlag)
-		os.Exit(2)
+		fmt.Fprintln(os.Stderr, "samrun: unknown ft policy:", ftFlag)
+		return 2
 	}
-	if *scaleFlag == "paper" {
+	switch scaleFlag {
+	case "small":
+	case "paper":
 		spec.Scale = experiments.Paper
+	default:
+		fmt.Fprintln(os.Stderr, "samrun: unknown scale:", scaleFlag, `(want "small" or "paper")`)
+		return 2
 	}
-	if *kill >= 0 {
-		spec.Kills = []experiments.KillEvent{{Rank: *kill, Step: 2}}
+	if n < 1 {
+		fmt.Fprintln(os.Stderr, "samrun: -n must be >= 1")
+		return 2
+	}
+	if kill >= n {
+		fmt.Fprintf(os.Stderr, "samrun: -kill rank %d out of range [0,%d)\n", kill, n)
+		return 2
+	}
+	if kill >= 0 {
+		spec.Kills = []experiments.KillEvent{{Rank: kill, Step: 2}}
 	}
 
 	res, err := experiments.Run(spec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "samrun:", err)
-		os.Exit(1)
+		return 1
 	}
 	fmt.Printf("app=%v n=%d ft=%v answer=%.6f\n", spec.App, spec.N, spec.Policy, res.Answer)
 	fmt.Printf("modeled time: %.4f s (wall %.2f s)\n", res.ModeledSec, res.WallSec)
@@ -67,4 +247,5 @@ func main() {
 	if res.RecoverySec > 0 {
 		fmt.Printf("recovery completed %.3f modeled s after the kill\n", res.RecoverySec)
 	}
+	return 0
 }

@@ -40,6 +40,12 @@ type Config struct {
 	EagerFree bool
 	// CacheCapacity bounds each process's cached-object count (0 = off).
 	CacheCapacity int
+	// HostSlowdown, when non-nil, scales rank r's modeled compute costs by
+	// HostSlowdown[r] (> 1 = slower workstation; see Endpoint.SetSlowdown).
+	// A replacement process respawned after a failure lands on the same
+	// modeled host and inherits the factor. Ranks beyond the slice run at
+	// nominal speed.
+	HostSlowdown []float64
 	// NoSnapCache disables the version-keyed snapshot cache (ablation).
 	NoSnapCache bool
 	// Cost overrides the network cost model (default: the paper's AN2).
@@ -128,6 +134,10 @@ func (c *Cluster) spawn(rank int, recovering bool) *pvm.Task {
 	if recovering {
 		name += "-r"
 	}
+	var slowdown float64
+	if rank < len(c.cfg.HostSlowdown) {
+		slowdown = c.cfg.HostSlowdown[rank]
+	}
 	task := c.machine.Spawn(name, func(t *pvm.Task) {
 		<-c.started
 		c.mu.Lock()
@@ -170,6 +180,9 @@ func (c *Cluster) spawn(rank int, recovering bool) *pvm.Task {
 			c.finishCh <- rank
 		}
 	})
+	if slowdown > 0 {
+		task.Endpoint().SetSlowdown(slowdown)
+	}
 	if c.cfg.Tracer != nil {
 		c.cfg.Tracer.Label(int64(task.TID()), name, rank)
 	}

@@ -42,8 +42,10 @@ type ChaosSpec struct {
 	// Placement selects the checkpoint-copy placement policy under test.
 	Placement ckptstore.Kind
 	// ECData/ECParity erasure-code checkpoint copies (k data + m parity
-	// shards). Schedules must keep simultaneous kills <= ECParity, or the
-	// answer check will rightly fail on unrecoverable objects.
+	// shards). A (k,m) code survives at most m simultaneous losses, so the
+	// schedule generator caps each schedule's distinct victim ranks at
+	// ECParity when the code is active — excess kills become re-kills of an
+	// already-dead rank's replacement, which never exceed the loss budget.
 	ECData   int
 	ECParity int
 	// TraceDir, when set, dumps every schedule's virtual-time trace under
@@ -83,7 +85,12 @@ type ChaosSchedule struct {
 	Result Result
 	// Problems lists everything wrong with this schedule's run: an answer
 	// mismatch vs. the fault-free baseline, invariant violations, errors.
+	// A failing schedule whose trace dump also failed records that here,
+	// so a red seed either keeps its timeline or says why not.
 	Problems []string
+	// Warnings lists harness-side defects that do not fail the schedule
+	// (e.g. a requested trace dump failing on a passing run).
+	Warnings []string
 	// TraceDir is where this schedule's trace was dumped ("" if it was
 	// not), with trace.json (Perfetto loadable) and recovery.txt inside.
 	TraceDir string
@@ -100,33 +107,36 @@ type ChaosResult struct {
 // chaosSchedule generates the kill schedule for index i. Indices 0–3 are
 // fixed archetypes hitting the hardened recovery paths; later indices are
 // randomized from (seed, app, i) via the splittable PRNG, so any failing
-// schedule is reproducible from its index alone.
+// schedule is reproducible from its index alone. Every schedule passes
+// through clampSchedule, so the archetypes (written for the default N=4)
+// stay meaningful at smaller N and randomized schedules never exceed the
+// configuration's survivable failure budget.
 func chaosSchedule(spec ChaosSpec, i int) []KillEvent {
 	switch i {
 	case 0:
 		// Two simultaneous kills including the coordinator (rank 0) and a
 		// survivor that holds recovery state for it.
-		return []KillEvent{{Rank: 0, Step: 2}, {Rank: 1, Step: 2}}
+		return clampSchedule(spec, []KillEvent{{Rank: 0, Step: 2}, {Rank: 1, Step: 2}})
 	case 1:
 		// Re-kill the recovering process before it can finish restoring.
-		return []KillEvent{
+		return clampSchedule(spec, []KillEvent{
 			{Rank: 2, Step: 2},
 			{Rank: 2, OnRecovery: true, RecoveryOf: 2},
-		}
+		})
 	case 2:
 		// Kill a survivor while it is contributing to another rank's
 		// recovery (its kRecoverFin is lost).
-		return []KillEvent{
+		return clampSchedule(spec, []KillEvent{
 			{Rank: 1, Step: 2},
 			{Rank: 3, OnRecovery: true, RecoveryOf: 1},
-		}
+		})
 	case 3:
 		// The takeover case: kill the coordinator, then kill the next
 		// coordinator in line mid-recovery.
-		return []KillEvent{
+		return clampSchedule(spec, []KillEvent{
 			{Rank: 0, Step: 1},
 			{Rank: 1, OnRecovery: true, RecoveryOf: 0},
-		}
+		})
 	}
 	rng := xrand.At(spec.Seed, int64(spec.App), int64(i))
 	n := 1 + rng.Intn(spec.MaxKills)
@@ -147,7 +157,78 @@ func chaosSchedule(spec ChaosSpec, i int) []KillEvent {
 			kills = append(kills, KillEvent{Rank: rng.Intn(spec.N), Step: int64(1 + rng.Intn(3))})
 		}
 	}
-	return kills
+	return clampSchedule(spec, kills)
+}
+
+// ecActive mirrors ckptstore.NewStore's feasibility rule: an infeasible
+// (k,m) code is silently dropped and full replication applies.
+func ecActive(spec ChaosSpec) bool {
+	return spec.ECData >= 1 && spec.ECParity >= 1 && spec.ECData+spec.ECParity <= spec.N-1
+}
+
+// killBudget is the number of distinct ranks a schedule may take down
+// before it leaves the guaranteed-survivable envelope: ECParity when
+// erasure coding is active (a (k,m) code tolerates at most m losses),
+// min(Degree, N-1) under full replication.
+func killBudget(spec ChaosSpec) int {
+	budget := spec.Degree
+	if spec.N-1 < budget {
+		budget = spec.N - 1
+	}
+	if ecActive(spec) {
+		budget = spec.ECParity
+	}
+	if budget < 1 {
+		budget = 1
+	}
+	return budget
+}
+
+// clampSchedule rewrites a generated schedule so every event is effective
+// and the schedule stays within the configuration's survivable envelope:
+//
+//   - ranks are reduced mod N, so the fixed archetypes never address
+//     out-of-range ranks whose Kill would be a silent no-op at N < 4;
+//   - exact-duplicate events are dropped — the second Kill of a rank that
+//     just died at the same trigger is a guaranteed no-op and would make
+//     KillsApplied under-report the schedule's intent;
+//   - the distinct victim ranks are capped at killBudget: an excess kill
+//     is redirected into a re-kill of the first victim's replacement,
+//     which keeps recovery pressure without manufacturing a state the
+//     paper's guarantee never promised to survive (the EC false-failure
+//     fix: randomized sweeps with MaxKills > ECParity used to schedule
+//     more simultaneous losses than the code can decode).
+func clampSchedule(spec ChaosSpec, kills []KillEvent) []KillEvent {
+	budget := killBudget(spec)
+	mod := func(r int) int { return ((r % spec.N) + spec.N) % spec.N }
+	victims := make(map[int]bool)
+	seen := make(map[KillEvent]bool)
+	firstVictim := -1
+	out := make([]KillEvent, 0, len(kills))
+	for _, k := range kills {
+		k.Rank = mod(k.Rank)
+		if k.OnRecovery {
+			k.RecoveryOf = mod(k.RecoveryOf)
+		}
+		if !victims[k.Rank] && len(victims) >= budget {
+			k = KillEvent{Rank: firstVictim, OnRecovery: true, RecoveryOf: firstVictim}
+		}
+		if k.OnRecovery && !victims[k.RecoveryOf] {
+			// A trigger riding a rank that is never killed would not fire;
+			// ride the first victim's recovery instead.
+			k.RecoveryOf = firstVictim
+		}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		victims[k.Rank] = true
+		if firstVictim < 0 {
+			firstVictim = k.Rank
+		}
+		out = append(out, k)
+	}
+	return out
 }
 
 // RunChaos executes a fault-free baseline run and then every schedule,
@@ -201,8 +282,19 @@ func RunChaos(spec ChaosSpec) (ChaosResult, error) {
 			out.Failed++
 		}
 		if len(sched.Problems) > 0 || spec.TraceDir != "" {
-			dir := filepath.Join(chaosTraceRoot(spec), fmt.Sprintf("%s-seed%d-schedule%02d", spec.App, spec.Seed, i))
-			if _, derr := trace.Dump(tracers[i], dir); derr == nil {
+			dir := filepath.Join(TraceRoot(spec.TraceDir), fmt.Sprintf("%s-seed%d-schedule%02d", spec.App, spec.Seed, i))
+			if _, derr := trace.Dump(tracers[i], dir); derr != nil {
+				// Never lose a red seed's timeline silently: a failing
+				// schedule records the dump failure alongside its problems;
+				// a passing one downgrades it to a warning (the simulation
+				// itself was fine).
+				msg := fmt.Sprintf("trace dump to %s failed: %v", dir, derr)
+				if len(sched.Problems) > 0 {
+					sched.Problems = append(sched.Problems, msg)
+				} else {
+					sched.Warnings = append(sched.Warnings, msg)
+				}
+			} else {
 				sched.TraceDir = dir
 			}
 		}
@@ -211,11 +303,13 @@ func RunChaos(spec ChaosSpec) (ChaosResult, error) {
 	return out, nil
 }
 
-// chaosTraceRoot resolves where schedule traces land: the spec's explicit
-// TraceDir, else SAMFT_TRACE_DIR, else DefaultTraceDir (failures only).
-func chaosTraceRoot(spec ChaosSpec) string {
-	if spec.TraceDir != "" {
-		return spec.TraceDir
+// TraceRoot resolves where auto-dumped traces land: the explicit
+// directory when set, else SAMFT_TRACE_DIR, else DefaultTraceDir. The
+// chaos sweep and the scenario campaign runner share this resolution so
+// CI's failing-trace artifact upload covers both.
+func TraceRoot(explicit string) string {
+	if explicit != "" {
+		return explicit
 	}
 	if d := os.Getenv("SAMFT_TRACE_DIR"); d != "" {
 		return d
@@ -333,6 +427,9 @@ func (r ChaosResult) Print(w io.Writer) {
 		for _, p := range s.Problems {
 			fmt.Fprintf(w, "       %s\n", p)
 		}
+		for _, m := range s.Warnings {
+			fmt.Fprintf(w, "       warning: %s\n", m)
+		}
 		if s.TraceDir != "" {
 			fmt.Fprintf(w, "       trace: %s\n", s.TraceDir)
 		}
@@ -346,9 +443,14 @@ func formatKills(kills []KillEvent) string {
 		if i > 0 {
 			s += ", "
 		}
-		if k.OnRecovery {
+		switch {
+		case k.OnRecovery && k.RecoveryCount > 0:
+			s += fmt.Sprintf("kill %d during recovery #%d of %d", k.Rank, k.RecoveryCount, k.RecoveryOf)
+		case k.OnRecovery:
 			s += fmt.Sprintf("kill %d during recovery of %d", k.Rank, k.RecoveryOf)
-		} else {
+		case k.AtModeledSec > 0:
+			s += fmt.Sprintf("kill %d at modeled %.4fs", k.Rank, k.AtModeledSec)
+		default:
 			s += fmt.Sprintf("kill %d at step %d", k.Rank, k.Step)
 		}
 	}

@@ -64,12 +64,23 @@ type KillEvent struct {
 	// Step, when > 0, fires the kill when the victim's application
 	// reaches that step.
 	Step int64
+	// AtModeledSec, when > 0, fires the kill once the cluster's modeled
+	// clock passes that instant. Checked at application step boundaries,
+	// so the kill lands at the first step at-or-after the threshold — the
+	// same at-the-next-activity semantics as netsim's clock triggers. A
+	// threshold past the end of the run is a no-op.
+	AtModeledSec float64
 	// OnRecovery, instead, fires the kill the moment rank RecoveryOf's
 	// replacement process is spawned — a failure injected mid-recovery.
 	// Rank == RecoveryOf re-kills the recovering process itself before it
 	// can finish restoring.
 	OnRecovery bool
 	RecoveryOf int
+	// RecoveryCount, when > 0, narrows an OnRecovery trigger to RecoveryOf's
+	// k-th respawn (1 = first). Zero fires on the first respawn observed.
+	// Distinct counts let a schedule kill successive replacements of the
+	// same rank deterministically (a flapping workstation).
+	RecoveryCount int
 }
 
 // Spec describes one cluster run.
@@ -100,6 +111,9 @@ type Spec struct {
 	Seed uint64
 	// NoSnapCache disables the sam-layer snapshot cache (ablation).
 	NoSnapCache bool
+	// HostSlowdown scales rank r's modeled compute costs by HostSlowdown[r]
+	// (> 1 = slower workstation); see cluster.Config.HostSlowdown.
+	HostSlowdown []float64
 	// Placement selects the checkpoint-copy placement policy (ring,
 	// affinity, spread); see internal/ckptstore.
 	Placement ckptstore.Kind
@@ -300,7 +314,12 @@ func Run(spec Spec) (Result, error) {
 		hook := func(r int, s int64) {
 			for i := range spec.Kills {
 				ev := spec.Kills[i]
-				if !ev.OnRecovery && ev.Step > 0 && r == ev.Rank && s >= ev.Step {
+				if ev.OnRecovery {
+					continue
+				}
+				if ev.Step > 0 && r == ev.Rank && s >= ev.Step {
+					fire(i)
+				} else if ev.AtModeledSec > 0 && cl.ElapsedModeledSec() >= ev.AtModeledSec {
 					fire(i)
 				}
 			}
@@ -317,22 +336,35 @@ func Run(spec Spec) (Result, error) {
 			DupNotify:  spec.NotifyDup,
 		}
 	}
+	// respawnSeen counts each rank's respawns so RecoveryCount triggers can
+	// target a specific replacement incarnation.
+	respawnSeen := make([]int, spec.N)
+	var respawnMu sync.Mutex
 	cl = cluster.New(cluster.Config{
-		N:           spec.N,
-		Policy:      spec.Policy,
-		Degree:      spec.Degree,
-		EagerFree:   spec.Eager,
-		NoSnapCache: spec.NoSnapCache,
-		Placement:   spec.Placement,
-		ECData:      spec.ECData,
-		ECParity:    spec.ECParity,
-		AppFactory:  factory,
-		Chaos:       chaos,
-		Tracer:      spec.Tracer,
+		N:            spec.N,
+		Policy:       spec.Policy,
+		Degree:       spec.Degree,
+		EagerFree:    spec.Eager,
+		NoSnapCache:  spec.NoSnapCache,
+		Placement:    spec.Placement,
+		ECData:       spec.ECData,
+		ECParity:     spec.ECParity,
+		HostSlowdown: spec.HostSlowdown,
+		AppFactory:   factory,
+		Chaos:        chaos,
+		Tracer:       spec.Tracer,
 		OnRespawn: func(rank int, _ pvm.TID) {
+			respawnMu.Lock()
+			nth := 0
+			if rank >= 0 && rank < len(respawnSeen) {
+				respawnSeen[rank]++
+				nth = respawnSeen[rank]
+			}
+			respawnMu.Unlock()
 			for i := range spec.Kills {
 				ev := spec.Kills[i]
-				if ev.OnRecovery && ev.RecoveryOf == rank {
+				if ev.OnRecovery && ev.RecoveryOf == rank &&
+					(ev.RecoveryCount == 0 || ev.RecoveryCount == nth) {
 					fire(i)
 				}
 			}

@@ -38,6 +38,12 @@ type Endpoint struct {
 	// advanced with CAS so Charge/Send/AdvanceTo need no lock.
 	clockBits atomic.Uint64
 
+	// slowBits is the host-speed factor applied to Charge (float64 bits;
+	// 0 means the nominal 1.0 and keeps the hot path a single load).
+	// Heterogeneous-host scenarios slow a workstation's compute without
+	// touching its network costs.
+	slowBits atomic.Uint64
+
 	// sent and recvd pack a message count (high 28 bits) and a byte count
 	// (low 36 bits) into one word, so the steady-state path pays a single
 	// atomic add per direction. The split caps an endpoint's lifetime
@@ -199,11 +205,37 @@ func (e *Endpoint) raiseClock(us float64) {
 	}
 }
 
+// SetSlowdown sets the host-speed factor applied to subsequent Charge
+// calls: modeled compute costs are multiplied by f. Factors above 1 model
+// a slow workstation (a straggler), factors in (0, 1) a fast one; f <= 0
+// restores the nominal speed. Network costs (latency, per-byte transfer,
+// per-message CPU overheads) are unaffected — a slow host computes slowly
+// but its network interface is the same.
+func (e *Endpoint) SetSlowdown(f float64) {
+	if f <= 0 || f == 1 {
+		e.slowBits.Store(0)
+		return
+	}
+	e.slowBits.Store(math.Float64bits(f))
+}
+
+// Slowdown returns the current host-speed factor (1 when unset).
+func (e *Endpoint) Slowdown() float64 {
+	if sb := e.slowBits.Load(); sb != 0 {
+		return math.Float64frombits(sb)
+	}
+	return 1
+}
+
 // Charge advances the modeled clock by us microseconds of local
-// computation. Negative charges are ignored.
+// computation, scaled by the endpoint's host-speed factor. Negative
+// charges are ignored.
 func (e *Endpoint) Charge(us float64) {
 	if us <= 0 {
 		return
+	}
+	if sb := e.slowBits.Load(); sb != 0 {
+		us *= math.Float64frombits(sb)
 	}
 	e.addClock(us)
 }

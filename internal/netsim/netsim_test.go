@@ -403,3 +403,38 @@ func TestAN2Defaults(t *testing.T) {
 		t.Fatalf("AN2 model %+v does not match the paper", c)
 	}
 }
+
+func TestChargeSlowdown(t *testing.T) {
+	_, a, b := pair(t)
+	a.Charge(100)
+	if got := a.ClockUS(); got != 100 {
+		t.Fatalf("nominal charge: clock %v, want 100", got)
+	}
+	a.SetSlowdown(3)
+	if got := a.Slowdown(); got != 3 {
+		t.Fatalf("Slowdown() = %v, want 3", got)
+	}
+	a.Charge(100)
+	if got := a.ClockUS(); got != 400 {
+		t.Fatalf("slowed charge: clock %v, want 400 (100 + 3*100)", got)
+	}
+	// Network costs are unaffected by the host factor: the slow host's send
+	// must charge the same as the nominal host's.
+	if err := a.Send(b.TID(), 1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	slowSendCost := a.ClockUS() - 400
+	b.SetSlowdown(0) // restore nominal
+	base := b.ClockUS()
+	if err := b.Send(a.TID(), 1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.ClockUS() - base; got != slowSendCost {
+		t.Fatalf("send cost changed under slowdown: %v vs %v", slowSendCost, got)
+	}
+	a.SetSlowdown(1) // factor 1 is nominal too
+	a.Charge(100)
+	if got := a.ClockUS(); got != 500+slowSendCost {
+		t.Fatalf("restored charge: clock %v, want %v", got, 500+slowSendCost)
+	}
+}

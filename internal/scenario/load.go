@@ -1,0 +1,88 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+)
+
+// Load parses, strictly decodes, and validates one scenario document.
+// file is used only for error messages. On failure the error is an
+// ErrorList of positioned diagnostics; the returned scenario is nil.
+func Load(data []byte, file string) (*Scenario, error) {
+	idx, synErr := buildIndex(file, data)
+	if synErr != nil {
+		return nil, errList(ErrorList{synErr})
+	}
+	var s Scenario
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return nil, errList(ErrorList{idx.decodeError(err)})
+	}
+	if errs := validate(&s, idx); len(errs) > 0 {
+		return nil, errList(errs)
+	}
+	return &s, nil
+}
+
+// LoadFile loads one scenario from disk.
+func LoadFile(path string) (*Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Load(data, path)
+}
+
+// LoadDir loads every *.json file in dir (sorted by name) and returns
+// the scenarios that loaded cleanly plus every diagnostic from the ones
+// that did not. Paths of the loaded scenarios come back in parallel with
+// the scenarios slice.
+func LoadDir(dir string) (scenarios []*Scenario, paths []string, errs []error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		return nil, nil, []error{err}
+	}
+	if len(matches) == 0 {
+		return nil, nil, []error{fmt.Errorf("%s: no *.json scenario files", dir)}
+	}
+	sort.Strings(matches)
+	for _, path := range matches {
+		s, err := LoadFile(path)
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		scenarios = append(scenarios, s)
+		paths = append(paths, path)
+	}
+	return scenarios, paths, errs
+}
+
+// unknownFieldRE extracts the field name from encoding/json's unknown
+// field error, which carries no offset; the position index supplies one.
+var unknownFieldRE = regexp.MustCompile(`unknown field "([^"]+)"`)
+
+// decodeError converts a strict-decode failure into a positioned Error.
+func (idx *posIndex) decodeError(err error) *Error {
+	if m := unknownFieldRE.FindStringSubmatch(err.Error()); m != nil {
+		out := &Error{File: idx.file, Msg: fmt.Sprintf("unknown field %q", m[1])}
+		if path, off, ok := idx.keyNamed(m[1]); ok {
+			out.Path = path
+			out.Line, out.Col = lineCol(idx.data, off)
+		}
+		return out
+	}
+	if te, ok := err.(*json.UnmarshalTypeError); ok && te.Field != "" {
+		// Prefer the struct's field path (dotted, matching our index paths)
+		// over the raw offset: it names what the author got wrong.
+		out := idx.at(te.Field, fmt.Sprintf("cannot unmarshal %s into this field (%s)", te.Value, te.Type))
+		return out
+	}
+	return idx.syntaxError(err)
+}

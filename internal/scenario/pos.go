@@ -1,0 +1,256 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Positioned errors: every loader and validator diagnostic carries the
+// file, line, column, and JSON path it refers to, so a failing campaign
+// prints errors an editor can jump to. The machinery is a token-stream
+// walk over the raw bytes that records the byte offset of every value
+// (and every object key) by its path — "fleet.ft.degree",
+// "events[2].kill.rank" — built once per file and shared by the
+// unmarshal-error translation and the semantic validator.
+
+// Error is one positioned scenario diagnostic.
+type Error struct {
+	File string
+	// Line and Col are 1-based; 0 when the position is unknown.
+	Line, Col int
+	// Path is the JSON path the diagnostic refers to ("" for whole-file
+	// problems such as syntax errors).
+	Path string
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	var b strings.Builder
+	if e.File != "" {
+		fmt.Fprintf(&b, "%s:", e.File)
+	}
+	if e.Line > 0 {
+		fmt.Fprintf(&b, "%d:%d:", e.Line, e.Col)
+	}
+	if b.Len() > 0 {
+		b.WriteByte(' ')
+	}
+	if e.Path != "" {
+		fmt.Fprintf(&b, "%s: ", e.Path)
+	}
+	b.WriteString(e.Msg)
+	return b.String()
+}
+
+// ErrorList aggregates every diagnostic found in one file, so a single
+// load reports all problems rather than the first.
+type ErrorList []*Error
+
+func (l ErrorList) Error() string {
+	msgs := make([]string, len(l))
+	for i, e := range l {
+		msgs[i] = e.Error()
+	}
+	return strings.Join(msgs, "\n")
+}
+
+// errList normalizes an ErrorList into a plain error (nil when empty).
+func errList(l ErrorList) error {
+	if len(l) == 0 {
+		return nil
+	}
+	return l
+}
+
+// posIndex maps JSON paths to byte offsets in the source file.
+type posIndex struct {
+	file string
+	data []byte
+	// vals holds the offset of each value's first byte; keys holds the
+	// offset of each object key's opening quote (same path).
+	vals map[string]int64
+	keys map[string]int64
+}
+
+// buildIndex walks the token stream and records every path's offset. A
+// syntax error surfaces as a positioned *Error; the partial index built
+// up to that point is still returned for best-effort positioning.
+func buildIndex(file string, data []byte) (*posIndex, *Error) {
+	idx := &posIndex{
+		file: file,
+		data: data,
+		vals: make(map[string]int64),
+		keys: make(map[string]int64),
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	var walk func(path string) error
+	walk = func(path string) error {
+		idx.vals[path] = tokenStart(data, dec.InputOffset())
+		tok, err := dec.Token()
+		if err != nil {
+			return err
+		}
+		delim, ok := tok.(json.Delim)
+		if !ok {
+			return nil
+		}
+		switch delim {
+		case '{':
+			for dec.More() {
+				keyOff := tokenStart(data, dec.InputOffset())
+				keyTok, err := dec.Token()
+				if err != nil {
+					return err
+				}
+				key, _ := keyTok.(string)
+				kp := key
+				if path != "" {
+					kp = path + "." + key
+				}
+				idx.keys[kp] = keyOff
+				if err := walk(kp); err != nil {
+					return err
+				}
+			}
+			if _, err := dec.Token(); err != nil { // consume '}'
+				return err
+			}
+		case '[':
+			for i := 0; dec.More(); i++ {
+				if err := walk(fmt.Sprintf("%s[%d]", path, i)); err != nil {
+					return err
+				}
+			}
+			if _, err := dec.Token(); err != nil { // consume ']'
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(""); err != nil {
+		return idx, idx.syntaxError(err)
+	}
+	// Anything after the document (a second value, trailing garbage) is a
+	// syntax problem encoding/json's one-shot Unmarshal would also reject.
+	if tok, err := dec.Token(); err == nil {
+		off := dec.InputOffset()
+		line, col := lineCol(data, tokenStart(data, off-1))
+		return idx, &Error{File: file, Line: line, Col: col,
+			Msg: fmt.Sprintf("unexpected %v after top-level value", tok)}
+	}
+	return idx, nil
+}
+
+// syntaxError converts an encoding/json error (carrying a byte offset)
+// into a positioned *Error.
+func (idx *posIndex) syntaxError(err error) *Error {
+	var off int64 = -1
+	msg := err.Error()
+	switch e := err.(type) {
+	case *json.SyntaxError:
+		off = e.Offset
+	case *json.UnmarshalTypeError:
+		off = e.Offset
+		msg = fmt.Sprintf("cannot unmarshal %s into %s field", e.Value, e.Type)
+	default:
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			// A truncated document: point at the end of the input.
+			off = int64(len(idx.data)) + 1
+			msg = "unexpected end of file"
+		}
+	}
+	out := &Error{File: idx.file, Msg: msg}
+	if off >= 0 {
+		// The decoder's offset points just past the offending input.
+		if off > 0 {
+			off--
+		}
+		out.Line, out.Col = lineCol(idx.data, off)
+	}
+	return out
+}
+
+// at positions a semantic diagnostic on a value; falling back to the
+// nearest existing ancestor path, then to the whole file.
+func (idx *posIndex) at(path, msg string) *Error {
+	out := &Error{File: idx.file, Path: path, Msg: msg}
+	for p := path; ; {
+		if off, ok := idx.vals[p]; ok {
+			out.Line, out.Col = lineCol(idx.data, off)
+			return out
+		}
+		parent := parentPath(p)
+		if parent == p {
+			break
+		}
+		p = parent
+	}
+	if off, ok := idx.vals[""]; ok {
+		out.Line, out.Col = lineCol(idx.data, off)
+	}
+	return out
+}
+
+// keyNamed finds the position of an object key with the given terminal
+// name anywhere in the document (used to place "unknown field" errors,
+// which encoding/json reports without an offset). Deterministic: the
+// first match in path order wins.
+func (idx *posIndex) keyNamed(name string) (string, int64, bool) {
+	paths := make([]string, 0, len(idx.keys))
+	for p := range idx.keys {
+		if p == name || strings.HasSuffix(p, "."+name) {
+			paths = append(paths, p)
+		}
+	}
+	if len(paths) == 0 {
+		return "", 0, false
+	}
+	sort.Strings(paths)
+	return paths[0], idx.keys[paths[0]], true
+}
+
+// parentPath strips the last path segment ("a.b[2].c" -> "a.b[2]",
+// "a.b[2]" -> "a.b", "a" -> "").
+func parentPath(p string) string {
+	if i := strings.LastIndexAny(p, ".["); i >= 0 {
+		return p[:i]
+	}
+	return ""
+}
+
+// tokenStart advances past insignificant bytes (whitespace and the
+// structural separators the decoder has not yet consumed) to the first
+// byte of the next token.
+func tokenStart(data []byte, from int64) int64 {
+	i := from
+	for i < int64(len(data)) {
+		switch data[i] {
+		case ' ', '\t', '\r', '\n', ',', ':':
+			i++
+		default:
+			return i
+		}
+	}
+	return i
+}
+
+// lineCol converts a byte offset to 1-based line and column.
+func lineCol(data []byte, off int64) (line, col int) {
+	if off > int64(len(data)) {
+		off = int64(len(data))
+	}
+	line, col = 1, 1
+	for _, b := range data[:off] {
+		if b == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return line, col
+}

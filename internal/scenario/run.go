@@ -1,0 +1,143 @@
+package scenario
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"path/filepath"
+
+	"samft/internal/experiments"
+	"samft/internal/trace"
+)
+
+// Outcome is one scenario's verdict after a campaign run.
+type Outcome struct {
+	Path string
+	Name string
+	// Problems lists every failed assertion (and harness errors such as a
+	// failed trace dump on an already-failing scenario). Empty = green.
+	Problems []string
+	// Warnings lists harness defects on a passing scenario (e.g. a
+	// requested trace dump that could not be written).
+	Warnings []string
+	// Result is the faulted run; BaselineAnswer the fault-free twin's
+	// answer (NaN when the answer assertion is off).
+	Result         experiments.Result
+	BaselineAnswer float64
+	// TraceDir is where the faulted run's virtual-time trace was dumped
+	// ("" if it was not).
+	TraceDir string
+}
+
+// Failed reports whether the scenario missed any assertion.
+func (o Outcome) Failed() bool { return len(o.Problems) > 0 }
+
+// RunOne executes a single compiled scenario.
+func RunOne(c Compiled, traceDir string) (Outcome, error) {
+	outs, err := RunSet([]Compiled{c}, traceDir)
+	if err != nil {
+		return Outcome{}, err
+	}
+	return outs[0], nil
+}
+
+// RunSet executes a batch of compiled scenarios — every fault-free
+// baseline twin and every faulted run — through experiments.RunAll, so a
+// campaign gets the same bounded parallelism and deterministic result
+// ordering as the figure sweeps, then evaluates each scenario's
+// assertions.
+//
+// Every faulted run records its virtual-time timeline; a failing
+// scenario dumps it under TraceRoot(traceDir)/scenario-<name> (the
+// SAMFT_TRACE_DIR wiring CI uploads), and with an explicit traceDir
+// passing scenarios dump too. The returned error reports harness
+// failures (a run that errored out), not assertion misses.
+func RunSet(cs []Compiled, traceDir string) ([]Outcome, error) {
+	specs := make([]experiments.Spec, 0, 2*len(cs))
+	baseIdx := make([]int, len(cs)) // index into specs, -1 when no baseline runs
+	runIdx := make([]int, len(cs))
+	tracers := make([]*trace.Tracer, len(cs))
+	for i := range cs {
+		baseIdx[i] = -1
+		if cs[i].CheckAnswer {
+			baseIdx[i] = len(specs)
+			specs = append(specs, cs[i].Baseline)
+		}
+		tracers[i] = trace.New(0)
+		run := cs[i].Spec
+		run.Tracer = tracers[i]
+		runIdx[i] = len(specs)
+		specs = append(specs, run)
+	}
+	results, err := experiments.RunAll(specs)
+	if err != nil {
+		return nil, err
+	}
+
+	outs := make([]Outcome, len(cs))
+	for i, c := range cs {
+		o := Outcome{
+			Path:           c.Path,
+			Name:           c.Scenario.Name,
+			Result:         results[runIdx[i]],
+			BaselineAnswer: math.NaN(),
+		}
+		res := o.Result
+		if baseIdx[i] >= 0 {
+			o.BaselineAnswer = results[baseIdx[i]].Answer
+			if math.Float64bits(res.Answer) != math.Float64bits(o.BaselineAnswer) {
+				o.Problems = append(o.Problems, fmt.Sprintf(
+					"answer mismatch: got %v, fault-free run produced %v", res.Answer, o.BaselineAnswer))
+			}
+		}
+		for _, v := range res.InvariantViolations {
+			o.Problems = append(o.Problems, "invariant: "+v)
+		}
+		if c.MaxRecoverySec > 0 && res.RecoverySec > c.MaxRecoverySec {
+			o.Problems = append(o.Problems, fmt.Sprintf(
+				"recovery took %.4f modeled s, bound is %.4f", res.RecoverySec, c.MaxRecoverySec))
+		}
+		if res.KillsApplied < c.MinKills {
+			o.Problems = append(o.Problems, fmt.Sprintf(
+				"only %d/%d kills hit a live process (a scheduled kill was a no-op)", res.KillsApplied, c.MinKills))
+		}
+		if len(o.Problems) > 0 || traceDir != "" {
+			dir := filepath.Join(experiments.TraceRoot(traceDir), "scenario-"+o.Name)
+			if _, derr := trace.Dump(tracers[i], dir); derr != nil {
+				msg := fmt.Sprintf("trace dump to %s failed: %v", dir, derr)
+				if len(o.Problems) > 0 {
+					o.Problems = append(o.Problems, msg)
+				} else {
+					o.Warnings = append(o.Warnings, msg)
+				}
+			} else {
+				o.TraceDir = dir
+			}
+		}
+		outs[i] = o
+	}
+	return outs, nil
+}
+
+// Print renders one outcome in the campaign report format.
+func (o Outcome) Print(w io.Writer, verbose bool) {
+	status := "ok"
+	if o.Failed() {
+		status = "FAIL"
+	}
+	name := o.Name
+	if o.Path != "" {
+		name = o.Path
+	}
+	fmt.Fprintf(w, "%-4s %-44s answer=%v modeled=%.4fs kills=%d recovery=%.4fs\n",
+		status, name, o.Result.Answer, o.Result.ModeledSec, o.Result.KillsApplied, o.Result.RecoverySec)
+	for _, p := range o.Problems {
+		fmt.Fprintf(w, "       %s\n", p)
+	}
+	for _, m := range o.Warnings {
+		fmt.Fprintf(w, "       warning: %s\n", m)
+	}
+	if o.TraceDir != "" && (verbose || o.Failed()) {
+		fmt.Fprintf(w, "       trace: %s\n", o.TraceDir)
+	}
+}

@@ -1,0 +1,131 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunOnePasses executes a small real scenario end-to-end: kills
+// applied, answer bit-identical to the baseline, no problems.
+func TestRunOnePasses(t *testing.T) {
+	s := mustLoad(t, `{
+		"name": "smoke",
+		"fleet": { "procs": 4, "app": "gps" },
+		"events": [ { "kill": { "rank": 1, "at_step": 2 } } ],
+		"assert": { "max_recovery_modeled_sec": 5 }
+	}`)
+	out, err := RunOne(Compile(s, ""), "")
+	if err != nil {
+		t.Fatalf("RunOne: %v", err)
+	}
+	if out.Failed() {
+		t.Fatalf("scenario failed: %v", out.Problems)
+	}
+	if out.Result.KillsApplied != 1 {
+		t.Errorf("KillsApplied = %d, want 1", out.Result.KillsApplied)
+	}
+	if out.TraceDir != "" {
+		t.Errorf("passing run dumped a trace to %s without an explicit trace dir", out.TraceDir)
+	}
+}
+
+// TestRunFailingScenarioDumpsTrace pins the failure path: a scenario with
+// a deliberately impossible assertion (recovery in a nanosecond) must
+// fail, and its trace must land under SAMFT_TRACE_DIR.
+func TestRunFailingScenarioDumpsTrace(t *testing.T) {
+	dir := t.TempDir()
+	t.Setenv("SAMFT_TRACE_DIR", dir)
+	s := mustLoad(t, `{
+		"name": "impossible-recovery",
+		"fleet": { "procs": 4, "app": "gps" },
+		"events": [ { "kill": { "rank": 1, "at_step": 2 } } ],
+		"assert": { "max_recovery_modeled_sec": 1e-9 }
+	}`)
+	out, err := RunOne(Compile(s, "impossible.json"), "")
+	if err != nil {
+		t.Fatalf("RunOne: %v", err)
+	}
+	if !out.Failed() {
+		t.Fatal("impossible recovery bound did not fail the scenario")
+	}
+	found := false
+	for _, p := range out.Problems {
+		if strings.Contains(p, "recovery took") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no recovery-bound problem in %v", out.Problems)
+	}
+	wantDir := filepath.Join(dir, "scenario-impossible-recovery")
+	if out.TraceDir != wantDir {
+		t.Fatalf("TraceDir = %q, want %q", out.TraceDir, wantDir)
+	}
+	if _, err := os.Stat(filepath.Join(wantDir, "trace.json")); err != nil {
+		t.Fatalf("failing scenario's trace.json missing: %v", err)
+	}
+}
+
+// TestRunSetBatch checks the batch path used by `samrun campaign`: one
+// passing and one failing scenario in a single RunAll batch keep their
+// identities and verdicts.
+func TestRunSetBatch(t *testing.T) {
+	t.Setenv("SAMFT_TRACE_DIR", t.TempDir())
+	pass := mustLoad(t, `{
+		"name": "pass",
+		"fleet": { "procs": 4, "app": "gps" },
+		"events": [ { "kill": { "rank": 2, "at_step": 2 } } ]
+	}`)
+	fail := mustLoad(t, `{
+		"name": "fail",
+		"fleet": { "procs": 4, "app": "gps" },
+		"events": [ { "kill": { "rank": 2, "at_step": 2 } } ],
+		"assert": { "max_recovery_modeled_sec": 1e-9 }
+	}`)
+	outs, err := RunSet([]Compiled{Compile(pass, "pass.json"), Compile(fail, "fail.json")}, "")
+	if err != nil {
+		t.Fatalf("RunSet: %v", err)
+	}
+	if len(outs) != 2 {
+		t.Fatalf("got %d outcomes", len(outs))
+	}
+	if outs[0].Failed() {
+		t.Errorf("pass scenario failed: %v", outs[0].Problems)
+	}
+	if !outs[1].Failed() {
+		t.Error("fail scenario passed")
+	}
+	if outs[0].Name != "pass" || outs[1].Name != "fail" {
+		t.Errorf("outcome order scrambled: %q, %q", outs[0].Name, outs[1].Name)
+	}
+}
+
+// TestRunDumpFailureIsWarning pins the dump-error path shared with the
+// chaos runner: an explicit trace dir that is a regular file cannot
+// receive the dump, and a passing scenario reports that as a warning.
+func TestRunDumpFailureIsWarning(t *testing.T) {
+	blocked := filepath.Join(t.TempDir(), "not-a-dir")
+	if err := os.WriteFile(blocked, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := mustLoad(t, `{
+		"name": "dump-blocked",
+		"fleet": { "procs": 4, "app": "gps" },
+		"events": [ { "kill": { "rank": 1, "at_step": 2 } } ]
+	}`)
+	out, err := RunOne(Compile(s, ""), blocked)
+	if err != nil {
+		t.Fatalf("RunOne: %v", err)
+	}
+	if out.Failed() {
+		t.Fatalf("scenario failed: %v", out.Problems)
+	}
+	if len(out.Warnings) == 0 || !strings.Contains(out.Warnings[0], "trace dump") {
+		t.Fatalf("dump failure not warned: %v", out.Warnings)
+	}
+	if out.TraceDir != "" {
+		t.Errorf("TraceDir = %q despite failed dump", out.TraceDir)
+	}
+}
