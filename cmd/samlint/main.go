@@ -3,13 +3,14 @@
 // module, multichecker-style:
 //
 //	go run ./cmd/samlint ./...
-//	go run ./cmd/samlint ./internal/sam ./internal/cluster
+//	go run ./cmd/samlint -json ./internal/sam ./internal/cluster
 //
 // With no arguments it checks ./... from the current directory. Exit
 // status: 0 clean, 1 findings, 2 the tree failed to load or type-check.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,8 +20,22 @@ import (
 	"samft/internal/lint"
 )
 
+// jsonDiagnostic is the machine-readable form of one finding. Suppressed
+// findings are included with SuppressedBy set, so suppression debt is
+// visible to tooling; they do not affect the exit status.
+type jsonDiagnostic struct {
+	File         string `json:"file"`
+	Line         int    `json:"line"`
+	Col          int    `json:"col"`
+	Analyzer     string `json:"analyzer"`
+	Category     string `json:"category"`
+	Message      string `json:"message"`
+	SuppressedBy string `json:"suppressedBy,omitempty"`
+}
+
 func main() {
 	list := flag.Bool("list", false, "print the analyzer suite and exit")
+	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON on stdout")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -54,8 +69,34 @@ func main() {
 		}
 		os.Exit(2)
 	}
-	for _, d := range res.Diagnostics {
-		fmt.Println(lint.FormatDiagnostic(res.Fset, d))
+
+	if *jsonOut {
+		out := make([]jsonDiagnostic, 0, len(res.Diagnostics)+len(res.Suppressed))
+		for _, d := range res.Diagnostics {
+			pos := res.Fset.Position(d.Pos)
+			out = append(out, jsonDiagnostic{
+				File: pos.Filename, Line: pos.Line, Col: pos.Column,
+				Analyzer: d.Analyzer, Category: d.Category, Message: d.Message,
+			})
+		}
+		for _, s := range res.Suppressed {
+			pos := res.Fset.Position(s.Diagnostic.Pos)
+			out = append(out, jsonDiagnostic{
+				File: pos.Filename, Line: pos.Line, Col: pos.Column,
+				Analyzer: s.Diagnostic.Analyzer, Category: s.Diagnostic.Category,
+				Message: s.Diagnostic.Message, SuppressedBy: s.Key,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "samlint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range res.Diagnostics {
+			fmt.Println(lint.FormatDiagnostic(res.Fset, d))
+		}
 	}
 	if len(res.Diagnostics) > 0 {
 		os.Exit(1)
@@ -63,7 +104,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: samlint [-list] [packages]\n\n")
+	fmt.Fprintf(os.Stderr, "usage: samlint [-list] [-json] [packages]\n\n")
 	fmt.Fprintf(os.Stderr, "Analyzers:\n")
 	for _, a := range lint.Analyzers() {
 		doc := a.Doc

@@ -83,6 +83,7 @@ func MatchDeepQueue(depth int) func(b *testing.B) {
 		a, dst := n.NewEndpoint(), n.NewEndpoint()
 		// Fill the mailbox with filler-tagged messages that never match.
 		for i := 0; i < depth; i++ {
+			//samlint:allow tagflow -- the fill tag is deliberately never received; the benchmark measures matching past it
 			if err := a.Send(dst.TID(), TagBenchFill, nil); err != nil {
 				b.Fatal(err)
 			}

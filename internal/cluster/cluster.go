@@ -68,12 +68,26 @@ type Config struct {
 	Tracer *trace.Tracer
 }
 
+// Cluster.mu sits at the top of the module's lock hierarchy: respawn
+// deliberately holds it across spawning (so the new task body observes
+// its own fresh tid), which nests every layer's lock under it, and the
+// kill/error paths touch endpoint and task state under it. Nothing in
+// the lower layers ever calls back into the cluster while holding its
+// own lock, so the order below is acyclic.
+//
+//samlint:lockorder cluster.cluster < pvm.machine -- Spawn under the respawn lock
+//samlint:lockorder cluster.cluster < pvm.task -- error collection reads task state
+//samlint:lockorder cluster.cluster < netsim.network -- endpoint registration during spawn
+//samlint:lockorder cluster.cluster < netsim.endpoint -- Kill/SetSlowdown on the rank's endpoint
+//samlint:lockorder cluster.cluster < trace.tracer -- incarnation labels during spawn
+//samlint:lockorder cluster.cluster < trace.recorder -- track creation during spawn
+
 // Cluster is a running (or runnable) simulated cluster.
 type Cluster struct {
 	cfg     Config
 	machine *pvm.Machine
 
-	mu       sync.Mutex
+	mu       sync.Mutex //samlint:lockclass cluster.cluster
 	tids     []pvm.TID
 	tasks    []*pvm.Task
 	allTasks []*pvm.Task // every incarnation, for error collection
@@ -261,7 +275,8 @@ func (c *Cluster) Kill(rank int) bool {
 // (surviving kills via recovery) without halting the machine, so callers
 // can still inspect or quiesce the cluster. Returns an error on timeout.
 func (c *Cluster) WaitFinished(timeout time.Duration) error {
-	deadline := time.After(timeout)
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
 	probe := time.NewTicker(50 * time.Millisecond)
 	defer probe.Stop()
 	remaining := c.cfg.N
@@ -281,7 +296,7 @@ func (c *Cluster) WaitFinished(timeout time.Duration) error {
 			if err := c.firstError(); err != nil {
 				return fmt.Errorf("cluster: application failed: %w", err)
 			}
-		case <-deadline:
+		case <-deadline.C:
 			return fmt.Errorf("cluster: timeout with %d ranks unfinished", remaining)
 		}
 	}

@@ -31,7 +31,7 @@ var (
 // registry maps type names to reflect.Types, standing in for the tables the
 // SAM preprocessor generates for each user-defined type.
 type registry struct {
-	mu      sync.RWMutex
+	mu      sync.RWMutex //samlint:lockclass codec.registry
 	byName  map[string]reflect.Type
 	nameFor map[reflect.Type]string
 }
@@ -76,6 +76,7 @@ func Register(name string, sample interface{}) {
 // TypeName returns the registered name for v's type (pointers are
 // dereferenced), or "" if unregistered.
 func TypeName(v interface{}) string {
+	//samlint:allow noalloc -- reflect.TypeOf reads the interface type word without allocating
 	t := reflect.TypeOf(v)
 	for t != nil && t.Kind() == reflect.Ptr {
 		t = t.Elem()
@@ -115,11 +116,14 @@ const frameMagic uint16 = 0x5A4D
 
 // Pack serializes v (a value or pointer to a value of a registered type)
 // into a self-describing frame.
+//
+//samlint:hotpath
 func Pack(v interface{}) ([]byte, error) {
 	e, err := packFrame(v)
 	if err != nil {
 		return nil, err
 	}
+	//samlint:allow noalloc -- the returned frame is Pack's output; one allocation per call is the contract
 	out := make([]byte, len(e.buf))
 	copy(out, e.buf)
 	putEncoder(e)
@@ -129,6 +133,7 @@ func Pack(v interface{}) ([]byte, error) {
 // packFrame encodes v into a pooled encoder. On success the caller owns
 // the encoder and must return it with putEncoder.
 func packFrame(v interface{}) (*encoder, error) {
+	//samlint:allow noalloc -- reflect.ValueOf unpacks the already-boxed interface; no allocation
 	rv := reflect.ValueOf(v)
 	var root reflect.Value // innermost pointer to the packed object, if any
 	for rv.Kind() == reflect.Ptr {
@@ -231,6 +236,8 @@ func DeepCopy(v interface{}) (interface{}, error) {
 // PackedSize returns the frame size for v without retaining the buffer.
 // The sam layer uses it to charge modeled transfer time. Unlike Pack, the
 // frame is encoded into pooled scratch and never copied out.
+//
+//samlint:hotpath
 func PackedSize(v interface{}) (int, error) {
 	e, err := packFrame(v)
 	if err != nil {

@@ -30,6 +30,23 @@ type Analyzer struct {
 	ModuleScope bool
 	// Run executes the check, reporting findings through the Pass.
 	Run func(*Pass) error
+	// FactTypes declares the Fact types this analyzer may export. Facts
+	// flow from each package's pass to the passes of packages that
+	// depend on it (the driver checks packages in dependency order), so
+	// a non-empty FactTypes makes the analyzer interprocedural across
+	// package boundaries. Each entry is a typed nil pointer, e.g.
+	// (*lockFact)(nil).
+	FactTypes []Fact
+	// Finish, when non-nil, runs once after every package's Run has
+	// completed, with a module-wide Pass (Pkg == nil, All populated).
+	// Analyzers that export per-package facts use it to correlate the
+	// accumulated facts and report module-level findings.
+	Finish func(*Pass) error
+	// NeverSuppress exempts the analyzer's diagnostics from
+	// //samlint:allow filtering. staleallow sets it: a stale directive
+	// must not be able to hide the report about itself (an unused
+	// "allow all" would otherwise be unreportable).
+	NeverSuppress bool
 }
 
 // Key returns the suppression key for the analyzer's diagnostics.
@@ -69,6 +86,18 @@ type Pass struct {
 	// All lists every loaded package in dependency order, so module-scope
 	// analyses can correlate declarations across packages.
 	All []*Package
+
+	// Facts is the run's shared cross-package fact store. The driver
+	// supplies one store for the whole run; see ExportObjectFact /
+	// ImportObjectFact in facts.go. Nil when the driver predates facts
+	// (fixture harnesses always supply one).
+	Facts *Facts
+
+	// Allows is the module's //samlint:allow index. Analyzers that build
+	// summaries (facts) consult it so a suppressed site does not poison
+	// downstream findings; consulting it marks directives used, feeding
+	// the staleallow check.
+	Allows *Allows
 
 	// Report receives each finding. The driver supplies it.
 	Report func(Diagnostic)

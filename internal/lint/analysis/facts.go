@@ -1,0 +1,259 @@
+package analysis
+
+import (
+	"fmt"
+	"go/types"
+	"reflect"
+	"sort"
+)
+
+// Fact is a typed datum an analyzer exports about a types.Object or a
+// package, to be imported by the same analyzer when it later checks a
+// package that depends on the exporter. This mirrors the
+// golang.org/x/tools/go/analysis facts model: because the driver checks
+// packages in dependency order (imports before importers), a fact
+// exported while checking package A is visible to every downstream
+// package that can reference A's objects. Facts are how the
+// interprocedural analyzers (lockorder, noalloc, tagflow) see across
+// package boundaries without re-analyzing their dependencies.
+//
+// A fact type must be a pointer to a struct and must be declared in the
+// exporting analyzer's FactTypes; the marker method keeps arbitrary
+// values from being stored by accident.
+type Fact interface{ AFact() }
+
+// ObjectFact pairs an object with one fact recorded about it.
+type ObjectFact struct {
+	Object types.Object
+	Fact   Fact
+}
+
+// PackageFact pairs a package with one fact recorded about it.
+type PackageFact struct {
+	Package *types.Package
+	Fact    Fact
+}
+
+// objKey identifies one object fact: facts of distinct types coexist on
+// the same object, and distinct analyzers' fact namespaces never collide.
+type objKey struct {
+	analyzer string
+	obj      types.Object
+	ftype    reflect.Type
+}
+
+type pkgKey struct {
+	analyzer string
+	pkg      *types.Package
+	ftype    reflect.Type
+}
+
+// factEntry records a fact plus the import path of the package whose
+// pass exported it, so a re-check can invalidate exactly that package's
+// contribution.
+type factEntry struct {
+	fact     Fact
+	exporter string
+	seq      int // export order, for deterministic enumeration
+}
+
+// Facts is the cross-package fact store shared by every pass of one
+// driver run. It is not safe for concurrent use; the driver runs passes
+// sequentially in dependency order.
+type Facts struct {
+	objects  map[objKey]*factEntry
+	packages map[pkgKey]*factEntry
+	nextSeq  int
+}
+
+// NewFacts returns an empty fact store.
+func NewFacts() *Facts {
+	return &Facts{
+		objects:  make(map[objKey]*factEntry),
+		packages: make(map[pkgKey]*factEntry),
+	}
+}
+
+// factType validates a fact value and returns its concrete type.
+func factType(fact Fact) reflect.Type {
+	t := reflect.TypeOf(fact)
+	if t == nil || t.Kind() != reflect.Ptr {
+		panic(fmt.Sprintf("analysis: fact %T is not a pointer", fact))
+	}
+	return t
+}
+
+// allowed reports whether the analyzer declared the fact type.
+func (a *Analyzer) allowsFactType(t reflect.Type) bool {
+	for _, f := range a.FactTypes {
+		if reflect.TypeOf(f) == t {
+			return true
+		}
+	}
+	return false
+}
+
+// setObject records fact about obj on behalf of exporter.
+func (f *Facts) setObject(analyzer string, obj types.Object, fact Fact, exporter string) {
+	f.nextSeq++
+	f.objects[objKey{analyzer, obj, factType(fact)}] = &factEntry{fact, exporter, f.nextSeq}
+}
+
+func (f *Facts) setPackage(analyzer string, pkg *types.Package, fact Fact, exporter string) {
+	f.nextSeq++
+	f.packages[pkgKey{analyzer, pkg, factType(fact)}] = &factEntry{fact, exporter, f.nextSeq}
+}
+
+// getObject copies the stored fact (if any) into ptr, reporting whether
+// one existed. ptr must be a pointer of the same concrete type the
+// exporter stored.
+func (f *Facts) getObject(analyzer string, obj types.Object, ptr Fact) bool {
+	e, ok := f.objects[objKey{analyzer, obj, factType(ptr)}]
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(ptr).Elem().Set(reflect.ValueOf(e.fact).Elem())
+	return true
+}
+
+func (f *Facts) getPackage(analyzer string, pkg *types.Package, ptr Fact) bool {
+	e, ok := f.packages[pkgKey{analyzer, pkg, factType(ptr)}]
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(ptr).Elem().Set(reflect.ValueOf(e.fact).Elem())
+	return true
+}
+
+// DropPackage invalidates every fact exported by the pass that checked
+// the package at path. The driver calls it before re-checking a package,
+// so stale facts from a previous check of an edited package can never
+// leak into the new analysis; the re-check re-exports fresh ones.
+func (f *Facts) DropPackage(path string) {
+	for k, e := range f.objects {
+		if e.exporter == path {
+			delete(f.objects, k)
+		}
+	}
+	for k, e := range f.packages {
+		if e.exporter == path {
+			delete(f.packages, k)
+		}
+	}
+}
+
+// allPackageFacts enumerates one analyzer's package facts of ptr's type
+// in export order (deterministic: export order is driver order).
+func (f *Facts) allPackageFacts(analyzer string, ftype reflect.Type) []PackageFact {
+	type seqFact struct {
+		pf  PackageFact
+		seq int
+	}
+	var out []seqFact
+	for k, e := range f.packages {
+		if k.analyzer == analyzer && k.ftype == ftype {
+			out = append(out, seqFact{PackageFact{k.pkg, e.fact}, e.seq})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
+	facts := make([]PackageFact, len(out))
+	for i, sf := range out {
+		facts[i] = sf.pf
+	}
+	return facts
+}
+
+// allObjectFacts enumerates one analyzer's object facts of ptr's type in
+// export order.
+func (f *Facts) allObjectFacts(analyzer string, ftype reflect.Type) []ObjectFact {
+	type seqFact struct {
+		of  ObjectFact
+		seq int
+	}
+	var out []seqFact
+	for k, e := range f.objects {
+		if k.analyzer == analyzer && k.ftype == ftype {
+			out = append(out, seqFact{ObjectFact{k.obj, e.fact}, e.seq})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
+	facts := make([]ObjectFact, len(out))
+	for i, sf := range out {
+		facts[i] = sf.of
+	}
+	return facts
+}
+
+// ExportObjectFact records fact about obj for downstream passes of the
+// same analyzer. The fact type must appear in the analyzer's FactTypes.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	if p.Facts == nil {
+		panic("analysis: ExportObjectFact outside a facts-enabled run")
+	}
+	if !p.Analyzer.allowsFactType(factType(fact)) {
+		panic(fmt.Sprintf("analysis: %s exports undeclared fact type %T", p.Analyzer.Name, fact))
+	}
+	p.Facts.setObject(p.Analyzer.Name, obj, fact, p.exporterPath())
+}
+
+// ImportObjectFact copies the fact of ptr's type recorded about obj into
+// ptr, reporting whether one existed. Object identity is shared across
+// packages (the loader reuses each checked *types.Package), so a fact
+// exported while checking an imported package is found here directly.
+func (p *Pass) ImportObjectFact(obj types.Object, ptr Fact) bool {
+	if p.Facts == nil {
+		return false
+	}
+	return p.Facts.getObject(p.Analyzer.Name, obj, ptr)
+}
+
+// ExportPackageFact records fact about the package under analysis.
+func (p *Pass) ExportPackageFact(fact Fact) {
+	if p.Facts == nil {
+		panic("analysis: ExportPackageFact outside a facts-enabled run")
+	}
+	if p.Pkg == nil || p.Pkg.Types == nil {
+		panic("analysis: ExportPackageFact without a current package")
+	}
+	if !p.Analyzer.allowsFactType(factType(fact)) {
+		panic(fmt.Sprintf("analysis: %s exports undeclared fact type %T", p.Analyzer.Name, fact))
+	}
+	p.Facts.setPackage(p.Analyzer.Name, p.Pkg.Types, fact, p.exporterPath())
+}
+
+// ImportPackageFact copies the fact of ptr's type recorded about pkg
+// into ptr, reporting whether one existed.
+func (p *Pass) ImportPackageFact(pkg *types.Package, ptr Fact) bool {
+	if p.Facts == nil {
+		return false
+	}
+	return p.Facts.getPackage(p.Analyzer.Name, pkg, ptr)
+}
+
+// AllPackageFacts enumerates every package fact of ptr's type this
+// analyzer has exported so far, in export (dependency) order. Finish
+// hooks use it to correlate per-package summaries module-wide.
+func (p *Pass) AllPackageFacts(ptr Fact) []PackageFact {
+	if p.Facts == nil {
+		return nil
+	}
+	return p.Facts.allPackageFacts(p.Analyzer.Name, factType(ptr))
+}
+
+// AllObjectFacts enumerates every object fact of ptr's type this
+// analyzer has exported so far, in export order.
+func (p *Pass) AllObjectFacts(ptr Fact) []ObjectFact {
+	if p.Facts == nil {
+		return nil
+	}
+	return p.Facts.allObjectFacts(p.Analyzer.Name, factType(ptr))
+}
+
+// exporterPath names the package whose pass is exporting, for
+// invalidation bookkeeping.
+func (p *Pass) exporterPath() string {
+	if p.Pkg != nil {
+		return p.Pkg.Path
+	}
+	return ""
+}

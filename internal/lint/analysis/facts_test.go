@@ -1,0 +1,151 @@
+package analysis
+
+import (
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+type nFact struct{ N int }
+
+func (*nFact) AFact() {}
+
+type sFact struct{ S string }
+
+func (*sFact) AFact() {}
+
+func testAnalyzer(name string) *Analyzer {
+	return &Analyzer{
+		Name:      name,
+		FactTypes: []Fact{(*nFact)(nil), (*sFact)(nil)},
+		Run:       func(*Pass) error { return nil },
+	}
+}
+
+func passFor(a *Analyzer, facts *Facts, path string, tp *types.Package) *Pass {
+	return &Pass{
+		Analyzer: a,
+		Facts:    facts,
+		Pkg:      &Package{Path: path, Types: tp},
+	}
+}
+
+// TestObjectFactRoundTrip is the cross-package scenario the driver
+// relies on: the pass checking package a exports a fact about one of
+// a's objects, and the pass checking a downstream package b — which
+// holds the same types.Object because the loader reuses type-checked
+// packages — imports it.
+func TestObjectFactRoundTrip(t *testing.T) {
+	az := testAnalyzer("t")
+	facts := NewFacts()
+	tpA := types.NewPackage("a", "a")
+	tpB := types.NewPackage("b", "b")
+	obj := types.NewVar(token.NoPos, tpA, "x", types.Typ[types.Int])
+
+	passA := passFor(az, facts, "a", tpA)
+	passA.ExportObjectFact(obj, &nFact{N: 42})
+
+	passB := passFor(az, facts, "b", tpB)
+	var got nFact
+	if !passB.ImportObjectFact(obj, &got) {
+		t.Fatal("downstream pass did not see the exported object fact")
+	}
+	if got.N != 42 {
+		t.Fatalf("fact value = %d, want 42", got.N)
+	}
+
+	// Facts of a different type on the same object are a different slot.
+	var other sFact
+	if passB.ImportObjectFact(obj, &other) {
+		t.Fatal("imported a fact type that was never exported")
+	}
+
+	// Another analyzer's namespace is disjoint even for the same type.
+	var crossed nFact
+	if passFor(testAnalyzer("u"), facts, "b", tpB).ImportObjectFact(obj, &crossed) {
+		t.Fatal("fact leaked across analyzer namespaces")
+	}
+}
+
+// TestPackageFactOrder checks that AllPackageFacts enumerates in export
+// order — the driver's dependency order, which Finish hooks depend on
+// for deterministic reports.
+func TestPackageFactOrder(t *testing.T) {
+	az := testAnalyzer("t")
+	facts := NewFacts()
+	paths := []string{"m/a", "m/b", "m/c"}
+	for i, path := range paths {
+		tp := types.NewPackage(path, "p")
+		p := passFor(az, facts, path, tp)
+		p.ExportPackageFact(&nFact{N: i})
+	}
+	all := passFor(az, facts, "", nil).AllPackageFacts((*nFact)(nil))
+	if len(all) != len(paths) {
+		t.Fatalf("AllPackageFacts returned %d facts, want %d", len(all), len(paths))
+	}
+	for i, pf := range all {
+		if pf.Package.Path() != paths[i] {
+			t.Errorf("fact %d from %s, want %s (export order)", i, pf.Package.Path(), paths[i])
+		}
+		if pf.Fact.(*nFact).N != i {
+			t.Errorf("fact %d carries N=%d, want %d", i, pf.Fact.(*nFact).N, i)
+		}
+	}
+}
+
+// TestDropPackage is the re-check invalidation contract: dropping a
+// package removes exactly the facts its pass exported, so an edited
+// package can be re-analyzed without stale facts leaking through.
+func TestDropPackage(t *testing.T) {
+	az := testAnalyzer("t")
+	facts := NewFacts()
+	tpA := types.NewPackage("a", "a")
+	tpB := types.NewPackage("b", "b")
+	objA := types.NewVar(token.NoPos, tpA, "x", types.Typ[types.Int])
+	objB := types.NewVar(token.NoPos, tpB, "y", types.Typ[types.Int])
+
+	passA := passFor(az, facts, "a", tpA)
+	passA.ExportObjectFact(objA, &nFact{N: 1})
+	passA.ExportPackageFact(&nFact{N: 1})
+	passB := passFor(az, facts, "b", tpB)
+	passB.ExportObjectFact(objB, &nFact{N: 2})
+	passB.ExportPackageFact(&nFact{N: 2})
+
+	facts.DropPackage("a")
+
+	reader := passFor(az, facts, "c", types.NewPackage("c", "c"))
+	var f nFact
+	if reader.ImportObjectFact(objA, &f) {
+		t.Error("object fact exported by dropped package a survived DropPackage")
+	}
+	if reader.ImportPackageFact(tpA, &f) {
+		t.Error("package fact exported by dropped package a survived DropPackage")
+	}
+	if !reader.ImportObjectFact(objB, &f) || f.N != 2 {
+		t.Error("object fact exported by package b was lost by DropPackage(a)")
+	}
+	if !reader.ImportPackageFact(tpB, &f) || f.N != 2 {
+		t.Error("package fact exported by package b was lost by DropPackage(a)")
+	}
+
+	// Re-checking a exports a fresh fact, which is then visible again.
+	passA2 := passFor(az, facts, "a", tpA)
+	passA2.ExportObjectFact(objA, &nFact{N: 3})
+	if !reader.ImportObjectFact(objA, &f) || f.N != 3 {
+		t.Error("re-exported fact after DropPackage not visible")
+	}
+}
+
+// TestUndeclaredFactPanics: exporting a fact type missing from the
+// analyzer's FactTypes is a programming error, caught loudly.
+func TestUndeclaredFactPanics(t *testing.T) {
+	az := &Analyzer{Name: "bare", Run: func(*Pass) error { return nil }}
+	tp := types.NewPackage("a", "a")
+	p := passFor(az, NewFacts(), "a", tp)
+	defer func() {
+		if recover() == nil {
+			t.Error("exporting an undeclared fact type did not panic")
+		}
+	}()
+	p.ExportPackageFact(&nFact{N: 1})
+}

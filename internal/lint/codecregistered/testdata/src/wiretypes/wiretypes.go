@@ -36,8 +36,8 @@ func roundTrip(g Good, u Unreg) {
 	_, _ = codec.Pack(&g) // pointer to registered element: ok
 	_, _ = codec.Pack(u)  // want "unregistered type Unreg"
 
-	_, _ = codec.PackedSize(g)  // ok
-	_, _ = codec.DeepCopy(u)    // want "unregistered type Unreg"
+	_, _ = codec.PackedSize(g) // ok
+	_, _ = codec.DeepCopy(u)   // want "unregistered type Unreg"
 
 	var dyn interface{} = u
 	_, _ = codec.Pack(dyn) // interface argument: dynamic, left to runtime

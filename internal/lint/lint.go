@@ -11,11 +11,18 @@ import (
 	"samft/internal/lint/detiter"
 	"samft/internal/lint/load"
 	"samft/internal/lint/lockheld"
+	"samft/internal/lint/lockorder"
+	"samft/internal/lint/noalloc"
 	"samft/internal/lint/nowallclock"
+	"samft/internal/lint/staleallow"
+	"samft/internal/lint/tagflow"
 	"samft/internal/lint/tagunique"
 )
 
-// Analyzers returns the full samlint suite.
+// Analyzers returns the full samlint suite. Order matters in two places:
+// fact-exporting analyzers are independent of each other, but staleallow
+// must run last — it reports the //samlint:allow directives that no
+// earlier analyzer's diagnostic or summary probe consumed.
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		nowallclock.Analyzer,
@@ -23,6 +30,10 @@ func Analyzers() []*analysis.Analyzer {
 		tagunique.Analyzer,
 		lockheld.Analyzer,
 		codecregistered.Analyzer,
+		lockorder.Analyzer,
+		noalloc.Analyzer,
+		tagflow.Analyzer,
+		staleallow.Analyzer,
 	}
 }
 
@@ -46,16 +57,28 @@ type Options struct {
 	// Patterns restricts which packages are analyzed (and, for
 	// module-scope analyzers, where findings may be reported). Supported
 	// forms: "./...", "./some/dir/...", "./some/dir", and bare import
-	// paths. Empty means everything.
+	// paths. Empty means everything. Fact-exporting analyzers still
+	// visit every package (facts must exist module-wide); only the
+	// reporting is restricted.
 	Patterns []string
 	// Analyzers overrides the suite (nil = Analyzers()).
 	Analyzers []*analysis.Analyzer
 }
 
+// SuppressedDiagnostic records a finding that a //samlint:allow
+// directive silenced, and the key that matched. samlint -json surfaces
+// these so suppression debt is visible in machine-readable output.
+type SuppressedDiagnostic struct {
+	Diagnostic analysis.Diagnostic
+	Key        string
+}
+
 // Result is the outcome of one Run.
 type Result struct {
 	Diagnostics []analysis.Diagnostic
-	Fset        *token.FileSet
+	// Suppressed lists the findings //samlint:allow directives silenced.
+	Suppressed []SuppressedDiagnostic
+	Fset       *token.FileSet
 	// TypeErrors holds type-checker errors per package path. A tree that
 	// `go build` accepts produces none; when present, diagnostics may be
 	// incomplete.
@@ -63,8 +86,12 @@ type Result struct {
 }
 
 // Run loads the module containing opts.Dir and applies the analyzer
-// suite. Diagnostics suppressed by //samlint:allow directives are
-// dropped; the rest are returned sorted by position.
+// suite. The module is parsed and type-checked exactly once; every
+// analyzer — including the whole-module fact consumers — shares that one
+// load, which is what keeps the CI job's wall time bounded as the suite
+// grows. Diagnostics suppressed by //samlint:allow directives are
+// recorded in Result.Suppressed; the rest are returned sorted by
+// position.
 func Run(opts Options) (*Result, error) {
 	modPath, modRoot, err := load.ModulePathOf(opts.Dir)
 	if err != nil {
@@ -89,46 +116,104 @@ func Run(opts Options) (*Result, error) {
 			res.TypeErrors[p.Path] = p.TypeErrors
 		}
 	}
+	if err := runSuite(res, fset, pkgs, analyzers, match); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
 
+// RunPackages applies analyzers to already-loaded packages, honoring
+// //samlint:allow suppression. linttest uses it to drive fixtures exactly
+// the way the real driver drives the module.
+func RunPackages(fset *token.FileSet, pkgs []*analysis.Package, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
+	res := &Result{Fset: fset}
+	if err := runSuite(res, fset, pkgs, analyzers, func(string) bool { return true }); err != nil {
+		return nil, err
+	}
+	return res.Diagnostics, nil
+}
+
+// runSuite is the shared driver core: one fact store and one allow index
+// for the whole run, packages visited in dependency order (load.Load
+// returns them topologically sorted, so a fact is always exported before
+// any importer could ask for it), suppression applied at report time so
+// directive usage is observable by the staleallow analyzer.
+func runSuite(res *Result, fset *token.FileSet, pkgs []*analysis.Package, analyzers []*analysis.Analyzer, match func(string) bool) error {
+	facts := analysis.NewFacts()
+	allows := analysis.CollectAllows(fset, pkgs)
+	for _, a := range analyzers {
+		allows.Keys[a.Name] = true
+		allows.Keys[a.Key()] = true
+	}
+
+	neverSuppress := make(map[string]bool)
+	for _, a := range analyzers {
+		if a.NeverSuppress {
+			neverSuppress[a.Name] = true
+		}
+	}
 	var diags []analysis.Diagnostic
-	report := func(d analysis.Diagnostic) { diags = append(diags, d) }
+	report := func(d analysis.Diagnostic) {
+		if !neverSuppress[d.Analyzer] {
+			pos := fset.Position(d.Pos)
+			if key, ok := allows.Suppressed(pos, d.Category, d.Analyzer); ok {
+				res.Suppressed = append(res.Suppressed, SuppressedDiagnostic{Diagnostic: d, Key: key})
+				return
+			}
+		}
+		diags = append(diags, d)
+	}
+
+	newPass := func(a *analysis.Analyzer, pkg *analysis.Package) *analysis.Pass {
+		return &analysis.Pass{
+			Analyzer: a, Fset: fset, Pkg: pkg, All: pkgs,
+			Facts: facts, Allows: allows, Report: report,
+		}
+	}
+
 	for _, a := range analyzers {
 		if a.ModuleScope {
-			pass := &analysis.Pass{Analyzer: a, Fset: fset, All: pkgs, Report: report}
-			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("%s: %w", a.Name, err)
+			if err := a.Run(newPass(a, nil)); err != nil {
+				return fmt.Errorf("%s: %w", a.Name, err)
 			}
 			continue
 		}
 		for _, p := range pkgs {
-			if !match(p.Path) {
+			// The wall-clock ban only binds the deterministic simulation
+			// layers; host-side packages (cmd/, examples/ — anything with a
+			// module-qualified path outside internal/) are exempt. Fixture
+			// packages load with bare src-relative paths and are always
+			// checked, so analyzer tests see their findings.
+			if a == nowallclock.Analyzer && strings.Contains(p.Path, "/") && !Deterministic(p.Path) {
 				continue
 			}
-			if a == nowallclock.Analyzer && !Deterministic(p.Path) {
-				continue
+			if err := a.Run(newPass(a, p)); err != nil {
+				return fmt.Errorf("%s: %s: %w", a.Name, p.Path, err)
 			}
-			pass := &analysis.Pass{Analyzer: a, Fset: fset, Pkg: p, All: pkgs, Report: report}
-			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("%s: %s: %w", a.Name, p.Path, err)
+		}
+		if a.Finish != nil {
+			if err := a.Finish(newPass(a, nil)); err != nil {
+				return fmt.Errorf("%s (finish): %w", a.Name, err)
 			}
 		}
 	}
 
-	allows := collectAllows(fset, pkgs)
 	pkgOf := make(map[string]string, len(pkgs)) // file -> package path
 	for _, p := range pkgs {
 		for _, f := range p.Files {
 			pkgOf[fset.Position(f.Pos()).Filename] = p.Path
 		}
 	}
+	seen := make(map[analysis.Diagnostic]bool, len(diags))
 	for _, d := range diags {
 		pos := fset.Position(d.Pos)
 		if !match(pkgOf[pos.Filename]) {
-			continue // module-scope finding outside the requested patterns
+			continue // finding outside the requested patterns
 		}
-		if allows.suppressed(pos, d.Category, d.Analyzer) {
-			continue
+		if seen[d] {
+			continue // interprocedural passes can surface one site twice
 		}
+		seen[d] = true
 		res.Diagnostics = append(res.Diagnostics, d)
 	}
 	sort.Slice(res.Diagnostics, func(i, j int) bool {
@@ -141,40 +226,7 @@ func Run(opts Options) (*Result, error) {
 		}
 		return res.Diagnostics[i].Analyzer < res.Diagnostics[j].Analyzer
 	})
-	return res, nil
-}
-
-// RunPackages applies analyzers to already-loaded packages, honoring
-// //samlint:allow suppression. linttest uses it to drive fixtures exactly
-// the way the real driver drives the module.
-func RunPackages(fset *token.FileSet, pkgs []*analysis.Package, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
-	var diags []analysis.Diagnostic
-	report := func(d analysis.Diagnostic) { diags = append(diags, d) }
-	for _, a := range analyzers {
-		if a.ModuleScope {
-			pass := &analysis.Pass{Analyzer: a, Fset: fset, All: pkgs, Report: report}
-			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("%s: %w", a.Name, err)
-			}
-			continue
-		}
-		for _, p := range pkgs {
-			pass := &analysis.Pass{Analyzer: a, Fset: fset, Pkg: p, All: pkgs, Report: report}
-			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("%s: %s: %w", a.Name, p.Path, err)
-			}
-		}
-	}
-	allows := collectAllows(fset, pkgs)
-	out := diags[:0]
-	for _, d := range diags {
-		if allows.suppressed(fset.Position(d.Pos), d.Category, d.Analyzer) {
-			continue
-		}
-		out = append(out, d)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
-	return out, nil
+	return nil
 }
 
 // patternMatcher compiles go-tool-style package patterns against the
@@ -219,68 +271,6 @@ func patternMatcher(modPath string, patterns []string) (func(string) bool, error
 		}
 		return false
 	}, nil
-}
-
-// allowIndex records //samlint:allow directives by file and line.
-type allowIndex map[string]map[int][]string
-
-// collectAllows scans every file's comments for allow directives. A
-// directive suppresses matching diagnostics on its own line and on the
-// line directly below it (so it can trail the offending expression or
-// stand alone above it).
-func collectAllows(fset *token.FileSet, pkgs []*analysis.Package) allowIndex {
-	idx := make(allowIndex)
-	for _, p := range pkgs {
-		for _, f := range p.Files {
-			for _, cg := range f.Comments {
-				for _, c := range cg.List {
-					keys, ok := parseAllow(c.Text)
-					if !ok {
-						continue
-					}
-					pos := fset.Position(c.Pos())
-					lines := idx[pos.Filename]
-					if lines == nil {
-						lines = make(map[int][]string)
-						idx[pos.Filename] = lines
-					}
-					lines[pos.Line] = append(lines[pos.Line], keys...)
-				}
-			}
-		}
-	}
-	return idx
-}
-
-// parseAllow parses "//samlint:allow key1 key2 -- optional reason".
-func parseAllow(text string) ([]string, bool) {
-	body, ok := strings.CutPrefix(text, "//samlint:allow")
-	if !ok {
-		return nil, false
-	}
-	if reason := strings.Index(body, "--"); reason >= 0 {
-		body = body[:reason]
-	}
-	keys := strings.Fields(body)
-	if len(keys) == 0 {
-		return nil, false
-	}
-	return keys, true
-}
-
-func (idx allowIndex) suppressed(pos token.Position, category, analyzer string) bool {
-	lines := idx[pos.Filename]
-	if lines == nil {
-		return false
-	}
-	for _, line := range []int{pos.Line, pos.Line - 1} {
-		for _, k := range lines[line] {
-			if k == category || k == analyzer || k == "all" {
-				return true
-			}
-		}
-	}
-	return false
 }
 
 // FormatDiagnostic renders one finding in the standard file:line:col

@@ -1,70 +1,8 @@
 package lint
 
 import (
-	"go/token"
 	"testing"
 )
-
-func TestParseAllow(t *testing.T) {
-	cases := []struct {
-		text string
-		keys []string
-		ok   bool
-	}{
-		{"//samlint:allow wallclock", []string{"wallclock"}, true},
-		{"//samlint:allow wallclock detiter", []string{"wallclock", "detiter"}, true},
-		{"//samlint:allow wallclock -- diagnostic stamp", []string{"wallclock"}, true},
-		{"//samlint:allow all", []string{"all"}, true},
-		{"//samlint:allow", nil, false},          // no keys
-		{"//samlint:allow -- why", nil, false},   // reason but no keys
-		{"// samlint:allow wallclock", nil, false}, // space breaks the directive
-		{"// an ordinary comment", nil, false},
-	}
-	for _, c := range cases {
-		keys, ok := parseAllow(c.text)
-		if ok != c.ok {
-			t.Errorf("parseAllow(%q) ok = %v, want %v", c.text, ok, c.ok)
-			continue
-		}
-		if !ok {
-			continue
-		}
-		if len(keys) != len(c.keys) {
-			t.Errorf("parseAllow(%q) = %v, want %v", c.text, keys, c.keys)
-			continue
-		}
-		for i := range keys {
-			if keys[i] != c.keys[i] {
-				t.Errorf("parseAllow(%q) = %v, want %v", c.text, keys, c.keys)
-				break
-			}
-		}
-	}
-}
-
-func TestSuppressedMatchesLineAndLineAbove(t *testing.T) {
-	idx := allowIndex{"f.go": {10: {"wallclock"}, 20: {"all"}, 30: {"nowallclock"}}}
-	pos := func(line int) token.Position { return token.Position{Filename: "f.go", Line: line} }
-
-	if !idx.suppressed(pos(10), "wallclock", "nowallclock") {
-		t.Error("same-line directive should suppress")
-	}
-	if !idx.suppressed(pos(11), "wallclock", "nowallclock") {
-		t.Error("directive on the line above should suppress")
-	}
-	if idx.suppressed(pos(12), "wallclock", "nowallclock") {
-		t.Error("directive two lines above must not suppress")
-	}
-	if idx.suppressed(pos(10), "detiter", "detiter") {
-		t.Error("key mismatch must not suppress")
-	}
-	if !idx.suppressed(pos(20), "detiter", "detiter") {
-		t.Error("the all key suppresses every analyzer")
-	}
-	if !idx.suppressed(pos(30), "wallclock", "nowallclock") {
-		t.Error("the analyzer name is a valid key alongside the category")
-	}
-}
 
 func TestPatternMatcher(t *testing.T) {
 	match, err := patternMatcher("samft", []string{"./internal/sam", "./internal/lint/...", "cmd/samlint"})
@@ -72,13 +10,13 @@ func TestPatternMatcher(t *testing.T) {
 		t.Fatal(err)
 	}
 	for path, want := range map[string]bool{
-		"samft/internal/sam":           true,
-		"samft/internal/sam/sub":       false, // non-recursive pattern
-		"samft/internal/lint":          true,
-		"samft/internal/lint/detiter":  true, // recursive pattern
-		"samft/cmd/samlint":            true, // bare path
-		"samft/internal/cluster":       false,
-		"":                             false,
+		"samft/internal/sam":          true,
+		"samft/internal/sam/sub":      false, // non-recursive pattern
+		"samft/internal/lint":         true,
+		"samft/internal/lint/detiter": true, // recursive pattern
+		"samft/cmd/samlint":           true, // bare path
+		"samft/internal/cluster":      false,
+		"":                            false,
 	} {
 		if match(path) != want {
 			t.Errorf("match(%q) = %v, want %v", path, match(path), want)
@@ -125,5 +63,17 @@ func TestModuleClean(t *testing.T) {
 	}
 	for _, d := range res.Diagnostics {
 		t.Errorf("%s", FormatDiagnostic(res.Fset, d))
+	}
+	// The tree is clean *because* its sanctioned violations carry allow
+	// directives; if suppression ever silently stopped matching, the
+	// diagnostics above would fire — and if the directives vanished, this
+	// check keeps the suppression path itself exercised.
+	if len(res.Suppressed) == 0 {
+		t.Error("expected at least one suppressed diagnostic from the module's allow directives")
+	}
+	for _, s := range res.Suppressed {
+		if s.Key == "" {
+			t.Errorf("suppressed diagnostic without a directive key: %s", FormatDiagnostic(res.Fset, s.Diagnostic))
+		}
 	}
 }

@@ -46,6 +46,16 @@ func Run(t *testing.T, a *analysis.Analyzer) {
 // RunDir is Run with an explicit fixture root.
 func RunDir(t *testing.T, dir string, a *analysis.Analyzer) {
 	t.Helper()
+	RunSuite(t, dir, a)
+}
+
+// RunSuite runs several analyzers together over one fixture tree,
+// matching their combined findings against the want comments. Fixtures
+// whose expectations depend on the interplay of analyzers need it — a
+// staleallow fixture, for example, only makes sense alongside the
+// analyzers whose suppressions it audits.
+func RunSuite(t *testing.T, dir string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
 	pkgs, fset, err := load.Load(load.Config{Dir: dir})
 	if err != nil {
 		t.Fatalf("loading fixtures in %s: %v", dir, err)
@@ -59,9 +69,9 @@ func RunDir(t *testing.T, dir string, a *analysis.Analyzer) {
 		}
 	}
 
-	diags, err := lint.RunPackages(fset, pkgs, []*analysis.Analyzer{a})
+	diags, err := lint.RunPackages(fset, pkgs, analyzers)
 	if err != nil {
-		t.Fatalf("running %s: %v", a.Name, err)
+		t.Fatalf("running fixture suite: %v", err)
 	}
 
 	expects := collectWants(t, fset, pkgs)

@@ -1,0 +1,861 @@
+// Package lockorder builds the module's lock-acquisition graph and
+// verifies it against the declared lock hierarchy. Mutexes are grouped
+// into named classes with a field annotation:
+//
+//	mu sync.Mutex //samlint:lockclass netsim.network
+//
+// and the permitted nestings between classes are declared with
+// file-level directives:
+//
+//	//samlint:lockorder netsim.network < trace.tracer -- Track runs under n.mu
+//
+// meaning "a trace.tracer lock may be acquired while a netsim.network
+// lock is held". The analyzer interprets every function body with the
+// same conservative flow tracking lockheld uses, propagates
+// "may acquire" summaries through the call graph as cross-package facts
+// (so a nesting hidden behind any depth of calls — even across package
+// boundaries — is still observed), and reports
+//
+//   - any observed nesting between two classes that no directive
+//     declares (including self-nesting: two instances of one class), and
+//   - any cycle in the union of declared and observed nestings, which is
+//     the classic deadlock shape.
+//
+// The netsim leaf-lock contract (netsim.go: Endpoint.mu and Network.mu
+// must never nest, in either order) falls out of the general rule: both
+// classes are annotated and no directive relates them, so any nesting
+// between them is a diagnostic.
+//
+// Approximations: calls through interfaces and stored function values
+// contribute no summary (their targets are unknown), and every function
+// literal is analyzed as its own root rather than as running under its
+// creator's locks — a literal is almost always a callback or spawned
+// task body that executes outside the critical section that created it.
+package lockorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"samft/internal/lint/analysis"
+)
+
+// Analyzer is the lockorder check.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc: "verify every observed lock nesting is declared with " +
+		"//samlint:lockorder and that the declared order is acyclic",
+	FactTypes: []analysis.Fact{(*classFact)(nil), (*acquiresFact)(nil), (*graphFact)(nil)},
+	Run:       run,
+	Finish:    finish,
+}
+
+// classFact marks a mutex object (struct field or package-level var) as
+// belonging to a named lock class.
+type classFact struct{ Class string }
+
+func (*classFact) AFact() {}
+
+// acquiresFact summarizes the lock classes a function may acquire,
+// directly or transitively. Downstream packages import it to see through
+// calls into their dependencies.
+type acquiresFact struct{ Classes []string }
+
+func (*acquiresFact) AFact() {}
+
+// edge is one observed nesting: To acquired while From held.
+type edge struct {
+	From, To string
+	Pos      token.Pos
+}
+
+// decl is one //samlint:lockorder From < To directive.
+type decl struct {
+	From, To string
+	Pos      token.Pos
+}
+
+// graphFact carries one package's contribution to the module graph:
+// nestings its code was observed to perform and orderings its files
+// declare. Finish correlates all of them.
+type graphFact struct {
+	Edges []edge
+	Decls []decl
+}
+
+func (*graphFact) AFact() {}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{
+		pass:    pass,
+		classes: make(map[types.Object]string),
+		summary: make(map[*types.Func][]string),
+		decls:   make(map[*types.Func]*ast.FuncDecl),
+		edges:   make(map[[2]string]token.Pos),
+	}
+	c.collectClasses()
+	declared := c.collectDecls()
+	c.collectFuncs()
+	for fn := range c.decls {
+		c.summarize(fn, nil)
+	}
+	for _, fd := range c.orderedDecls() {
+		c.emitEdges(fd)
+	}
+
+	gf := &graphFact{Decls: declared}
+	for key, pos := range c.edges {
+		gf.Edges = append(gf.Edges, edge{From: key[0], To: key[1], Pos: pos})
+	}
+	sort.Slice(gf.Edges, func(i, j int) bool { return gf.Edges[i].Pos < gf.Edges[j].Pos })
+	if len(gf.Edges) > 0 || len(gf.Decls) > 0 {
+		pass.ExportPackageFact(gf)
+	}
+	for fn, classes := range c.summary {
+		if len(classes) > 0 {
+			pass.ExportObjectFact(fn, &acquiresFact{Classes: classes})
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	pass    *analysis.Pass
+	classes map[types.Object]string // mutex object -> class, this package
+	summary map[*types.Func][]string
+	decls   map[*types.Func]*ast.FuncDecl
+	edges   map[[2]string]token.Pos // observed nesting -> first position
+}
+
+// parseDirective splits "//samlint:<verb> body -- reason" and returns
+// the body fields.
+func parseDirective(text, verb string) ([]string, bool) {
+	body, ok := strings.CutPrefix(text, "//samlint:"+verb)
+	if !ok {
+		return nil, false
+	}
+	if i := strings.Index(body, "--"); i >= 0 {
+		body = body[:i]
+	}
+	fields := strings.Fields(body)
+	if len(fields) == 0 {
+		return nil, false
+	}
+	return fields, true
+}
+
+// collectClasses resolves //samlint:lockclass annotations on struct
+// fields and package-level vars to their types.Object and exports the
+// class as a fact (so importing packages see it too).
+func (c *checker) collectClasses() {
+	note := func(names []*ast.Ident, groups ...*ast.CommentGroup) {
+		class := ""
+		for _, g := range groups {
+			if g == nil {
+				continue
+			}
+			for _, cm := range g.List {
+				if fields, ok := parseDirective(cm.Text, "lockclass"); ok {
+					class = fields[0]
+				}
+			}
+		}
+		if class == "" {
+			return
+		}
+		for _, name := range names {
+			obj := c.pass.Pkg.Info.Defs[name]
+			if obj == nil {
+				continue
+			}
+			if !isSyncMutex(obj.Type()) {
+				c.pass.Reportf(name.Pos(),
+					"//samlint:lockclass %s on %s, which is not a sync.Mutex or sync.RWMutex", class, name.Name)
+				continue
+			}
+			c.classes[obj] = class
+			c.pass.ExportObjectFact(obj, &classFact{Class: class})
+		}
+	}
+	for _, f := range c.pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.StructType:
+				for _, field := range n.Fields.List {
+					note(field.Names, field.Doc, field.Comment)
+				}
+			case *ast.ValueSpec:
+				note(n.Names, n.Doc, n.Comment)
+			}
+			return true
+		})
+	}
+}
+
+// collectDecls parses the package's //samlint:lockorder directives.
+func (c *checker) collectDecls() []decl {
+	var out []decl
+	for _, f := range c.pass.Pkg.Files {
+		for _, cg := range f.Comments {
+			for _, cm := range cg.List {
+				fields, ok := parseDirective(cm.Text, "lockorder")
+				if !ok {
+					continue
+				}
+				if len(fields) != 3 || fields[1] != "<" {
+					c.pass.Reportf(cm.Pos(),
+						"malformed //samlint:lockorder directive (want \"//samlint:lockorder outer < inner\")")
+					continue
+				}
+				out = append(out, decl{From: fields[0], To: fields[2], Pos: cm.Pos()})
+			}
+		}
+	}
+	return out
+}
+
+func (c *checker) collectFuncs() {
+	for _, f := range c.pass.Pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := c.pass.Pkg.Info.Defs[fd.Name].(*types.Func); ok {
+				c.decls[fn] = fd
+			}
+		}
+	}
+}
+
+// orderedDecls returns the package's function decls in source order, so
+// edge positions (first observation wins) are deterministic.
+func (c *checker) orderedDecls() []*ast.FuncDecl {
+	out := make([]*ast.FuncDecl, 0, len(c.decls))
+	for _, fd := range c.decls {
+		out = append(out, fd)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos() < out[j].Pos() })
+	return out
+}
+
+// classOf resolves the lock class of the mutex expression in
+// <expr>.Lock(): the object behind the final selector (field or var),
+// whether declared here or imported.
+func (c *checker) classOf(mutexExpr ast.Expr) string {
+	var id *ast.Ident
+	switch e := mutexExpr.(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return ""
+	}
+	obj := c.pass.Pkg.Info.Uses[id]
+	if obj == nil {
+		obj = c.pass.Pkg.Info.Defs[id]
+	}
+	if obj == nil {
+		return ""
+	}
+	if cl, ok := c.classes[obj]; ok {
+		return cl
+	}
+	var f classFact
+	if c.pass.ImportObjectFact(obj, &f) {
+		return f.Class
+	}
+	return ""
+}
+
+// calleeFunc resolves a call to its static *types.Func, or nil for
+// indirect calls (function values, interface methods resolve to the
+// interface's method object, which carries no summary).
+func (c *checker) calleeFunc(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = f
+	case *ast.SelectorExpr:
+		id = f.Sel
+	default:
+		return nil
+	}
+	fn, _ := c.pass.Pkg.Info.Uses[id].(*types.Func)
+	return fn
+}
+
+// acquiresOf returns the classes fn may acquire: the local summary for
+// this package's functions, the imported fact for dependencies.
+func (c *checker) acquiresOf(fn *types.Func) []string {
+	if fn == nil {
+		return nil
+	}
+	if fn.Pkg() == c.pass.Pkg.Types {
+		return c.summarize(fn, nil)
+	}
+	var f acquiresFact
+	if c.pass.ImportObjectFact(fn, &f) {
+		return f.Classes
+	}
+	return nil
+}
+
+// summarize computes (memoized) the classes fn may acquire, following
+// same-package calls; visiting breaks recursion cycles (a recursive
+// function's summary converges to its non-recursive acquisitions, which
+// is sound for edge detection because every acquisition still appears in
+// some caller's walk).
+func (c *checker) summarize(fn *types.Func, visiting map[*types.Func]bool) []string {
+	if s, ok := c.summary[fn]; ok {
+		return s
+	}
+	if visiting[fn] {
+		return nil
+	}
+	fd := c.decls[fn]
+	if fd == nil {
+		return nil
+	}
+	if visiting == nil {
+		visiting = make(map[*types.Func]bool)
+	}
+	visiting[fn] = true
+	set := make(map[string]bool)
+	var walk func(n ast.Node)
+	walk = func(root ast.Node) {
+		ast.Inspect(root, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				// The goroutine acquires its locks on its own stack,
+				// not under the spawner's critical section.
+				return false
+			case *ast.FuncLit:
+				// A literal is almost always a callback or task body that
+				// runs outside this call's critical sections (the cluster
+				// spawn closure is the canonical case); its interior
+				// nestings are still checked — emitEdges walks every
+				// literal as an independent root.
+				return false
+			case *ast.CallExpr:
+				if mutexExpr, op := c.mutexOp(n); mutexExpr != nil {
+					if op == "Lock" || op == "RLock" {
+						if cl := c.classOf(mutexExpr); cl != "" {
+							set[cl] = true
+						}
+					}
+					return true
+				}
+				for _, cl := range c.acquiresOf2(n, visiting) {
+					set[cl] = true
+				}
+			}
+			return true
+		})
+	}
+	walk(fd.Body)
+	delete(visiting, fn)
+	out := make([]string, 0, len(set))
+	for cl := range set {
+		out = append(out, cl)
+	}
+	sort.Strings(out)
+	c.summary[fn] = out
+	return out
+}
+
+// acquiresOf2 is acquiresOf for a call site encountered during
+// summarization, threading the visiting set through same-package
+// recursion.
+func (c *checker) acquiresOf2(call *ast.CallExpr, visiting map[*types.Func]bool) []string {
+	fn := c.calleeFunc(call)
+	if fn == nil {
+		return nil
+	}
+	if fn.Pkg() == c.pass.Pkg.Types {
+		if s, ok := c.summary[fn]; ok {
+			return s
+		}
+		return c.summarize(fn, visiting)
+	}
+	var f acquiresFact
+	if c.pass.ImportObjectFact(fn, &f) {
+		return f.Classes
+	}
+	return nil
+}
+
+// --- flow-sensitive edge emission -----------------------------------
+//
+// The walker below mirrors lockheld's conservative interpreter: held
+// depth per mutex expression, deferred Unlock pins the lock to function
+// exit, branches merge pessimistically. On every acquisition (direct
+// Lock/RLock or a call with a non-empty acquires summary) it records an
+// edge from each currently-held class.
+
+type heldEntry struct {
+	depth int
+	class string
+}
+
+type lockState map[string]*heldEntry
+
+func (c *checker) emitEdges(fd *ast.FuncDecl) {
+	st := make(lockState)
+	c.block(fd.Body, st)
+}
+
+func (c *checker) heldClasses(st lockState) []string {
+	var out []string
+	for _, e := range st {
+		if e.depth > 0 && e.class != "" {
+			out = append(out, e.class)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// recordAcquire notes that the classes in acquired are taken at pos
+// while st's classes are held.
+func (c *checker) recordAcquire(st lockState, acquired []string, pos token.Pos, sameExpr string) {
+	held := c.heldClasses(st)
+	if len(held) == 0 || len(acquired) == 0 {
+		return
+	}
+	for _, from := range held {
+		for _, to := range acquired {
+			if sameExpr != "" && from == to {
+				// Re-locking the very same mutex expression is a plain
+				// deadlock, not an ordering question; depth bookkeeping
+				// already models it and lockheld's domain covers it.
+				continue
+			}
+			key := [2]string{from, to}
+			if _, ok := c.edges[key]; !ok {
+				c.edges[key] = pos
+			}
+		}
+	}
+}
+
+func (c *checker) applyLock(st lockState, mutexExpr ast.Expr, op string, pos token.Pos) {
+	key := types.ExprString(mutexExpr)
+	class := c.classOf(mutexExpr)
+	switch op {
+	case "Lock", "RLock":
+		// Same-class nesting through a *different* expression is a real
+		// ordering edge; through the same expression it is a relock.
+		if class != "" {
+			same := ""
+			if e, ok := st[key]; ok && e.depth > 0 {
+				same = class
+			}
+			c.recordAcquire(st, []string{class}, pos, same)
+		}
+		e := st[key]
+		if e == nil {
+			e = &heldEntry{class: class}
+			st[key] = e
+		}
+		e.depth++
+	case "Unlock", "RUnlock":
+		if e := st[key]; e != nil && e.depth > 0 {
+			e.depth--
+		}
+	}
+}
+
+func (c *checker) block(b *ast.BlockStmt, st lockState) (terminated bool) {
+	for _, s := range b.List {
+		if c.stmt(s, st) {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *checker) stmt(s ast.Stmt, st lockState) (terminated bool) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if mutexExpr, op := c.mutexOp(call); mutexExpr != nil {
+				c.applyLock(st, mutexExpr, op, call.Pos())
+				return false
+			}
+			if isPanic(call) {
+				c.exprs(st, call.Args...)
+				return true
+			}
+		}
+		c.exprs(st, s.X)
+	case *ast.DeferStmt:
+		if mutexExpr, op := c.mutexOp(s.Call); mutexExpr != nil {
+			if op == "Lock" || op == "RLock" {
+				c.applyLock(st, mutexExpr, op, s.Call.Pos())
+			}
+			return false // deferred Unlock: lock stays held to exit
+		}
+		c.exprs(st, s.Call)
+	case *ast.GoStmt:
+		// The spawned goroutine runs outside this critical section; its
+		// literal body (if any) is walked as an independent root.
+		for _, arg := range s.Call.Args {
+			c.exprs(st, arg)
+		}
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			c.block(lit.Body, make(lockState))
+		}
+	case *ast.AssignStmt:
+		c.exprs(st, s.Rhs...)
+		c.exprs(st, s.Lhs...)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					c.exprs(st, vs.Values...)
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		c.exprs(st, s.Results...)
+		return true
+	case *ast.BranchStmt:
+		return true
+	case *ast.BlockStmt:
+		return c.block(s, st)
+	case *ast.LabeledStmt:
+		return c.stmt(s.Stmt, st)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, st)
+		}
+		c.exprs(st, s.Cond)
+		thenSt := cloneState(st)
+		thenTerm := c.block(s.Body, thenSt)
+		elseSt := cloneState(st)
+		elseTerm := false
+		if s.Else != nil {
+			elseTerm = c.stmt(s.Else, elseSt)
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return true
+		case thenTerm:
+			replaceState(st, elseSt)
+		case elseTerm:
+			replaceState(st, thenSt)
+		default:
+			replaceState(st, mergeMin(thenSt, elseSt))
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			c.exprs(st, s.Cond)
+		}
+		bodySt := cloneState(st)
+		c.block(s.Body, bodySt)
+		if s.Post != nil {
+			c.stmt(s.Post, bodySt)
+		}
+		replaceState(st, mergeMin(st, bodySt))
+	case *ast.RangeStmt:
+		c.exprs(st, s.X)
+		bodySt := cloneState(st)
+		c.block(s.Body, bodySt)
+		replaceState(st, mergeMin(st, bodySt))
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		c.branchStmt(s, st)
+	case *ast.SendStmt:
+		c.exprs(st, s.Chan, s.Value)
+	case *ast.IncDecStmt:
+		c.exprs(st, s.X)
+	}
+	return false
+}
+
+func (c *checker) branchStmt(s ast.Stmt, st lockState) {
+	var clauses []ast.Stmt
+	hasDefault := false
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, st)
+		}
+		if s.Tag != nil {
+			c.exprs(st, s.Tag)
+		}
+		clauses = s.Body.List
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, st)
+		}
+		c.stmt(s.Assign, st)
+		clauses = s.Body.List
+	case *ast.SelectStmt:
+		clauses = s.Body.List
+	}
+	var outs []lockState
+	for _, cl := range clauses {
+		var body []ast.Stmt
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			c.exprs(st, cl.List...)
+			if cl.List == nil {
+				hasDefault = true
+			}
+			body = cl.Body
+		case *ast.CommClause:
+			if cl.Comm == nil {
+				hasDefault = true
+			} else {
+				c.stmt(cl.Comm, st)
+			}
+			body = cl.Body
+		}
+		clSt := cloneState(st)
+		term := false
+		for _, bs := range body {
+			if c.stmt(bs, clSt) {
+				term = true
+				break
+			}
+		}
+		if !term {
+			outs = append(outs, clSt)
+		}
+	}
+	if !hasDefault {
+		outs = append(outs, cloneState(st))
+	}
+	if len(outs) == 0 {
+		return
+	}
+	merged := outs[0]
+	for _, o := range outs[1:] {
+		merged = mergeMin(merged, o)
+	}
+	replaceState(st, merged)
+}
+
+// exprs walks expressions: calls emit edges against the current state,
+// and function literals are analyzed as independent roots (they may run
+// under unknown locks, so only the locks they take internally count).
+func (c *checker) exprs(st lockState, exprs ...ast.Expr) {
+	for _, e := range exprs {
+		if e == nil {
+			continue
+		}
+		ast.Inspect(e, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				c.block(n.Body, make(lockState))
+				return false
+			case *ast.CallExpr:
+				if mutexExpr, op := c.mutexOp(n); mutexExpr != nil {
+					c.applyLock(st, mutexExpr, op, n.Pos())
+					return false
+				}
+				if acq := c.acquiresOf(c.calleeFunc(n)); len(acq) > 0 {
+					c.recordAcquire(st, acq, n.Pos(), "")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// mutexOp decodes <expr>.Lock()/Unlock/RLock/RUnlock on a sync mutex.
+func (c *checker) mutexOp(call *ast.CallExpr) (mutexExpr ast.Expr, op string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return nil, ""
+	}
+	tv, ok := c.pass.Pkg.Info.Types[sel.X]
+	if !ok || !isSyncMutex(tv.Type) {
+		return nil, ""
+	}
+	return sel.X, sel.Sel.Name
+}
+
+func isSyncMutex(t types.Type) bool {
+	for {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+func isPanic(call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+func cloneState(st lockState) lockState {
+	out := make(lockState, len(st))
+	for k, v := range st {
+		cp := *v
+		out[k] = &cp
+	}
+	return out
+}
+
+func replaceState(dst, src lockState) {
+	for k := range dst {
+		delete(dst, k)
+	}
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+// mergeMin joins two states pessimistically: held only if held on both.
+func mergeMin(a, b lockState) lockState {
+	out := make(lockState)
+	for k, av := range a {
+		bv := b[k]
+		if bv == nil {
+			continue
+		}
+		d := av.depth
+		if bv.depth < d {
+			d = bv.depth
+		}
+		if d > 0 {
+			out[k] = &heldEntry{depth: d, class: av.class}
+		}
+	}
+	return out
+}
+
+// --- module-wide correlation ----------------------------------------
+
+func finish(pass *analysis.Pass) error {
+	var edges []edge
+	var decls []decl
+	var g graphFact
+	for _, pf := range pass.AllPackageFacts(&g) {
+		f := pf.Fact.(*graphFact)
+		edges = append(edges, f.Edges...)
+		decls = append(decls, f.Decls...)
+	}
+
+	declared := make(map[[2]string]bool)
+	for _, d := range decls {
+		declared[[2]string{d.From, d.To}] = true
+	}
+
+	// Undeclared observed nestings.
+	seen := make(map[[2]string]bool)
+	for _, e := range edges {
+		key := [2]string{e.From, e.To}
+		if declared[key] || seen[key] {
+			continue
+		}
+		seen[key] = true
+		if e.From == e.To {
+			pass.Report(analysis.Diagnostic{
+				Pos: e.Pos, Analyzer: pass.Analyzer.Name, Category: pass.Analyzer.Key(),
+				Message: "lock class \"" + e.To + "\" acquired while another \"" + e.From +
+					"\" instance is held; self-nesting is not declared (//samlint:lockorder " +
+					e.From + " < " + e.To + ")",
+			})
+			continue
+		}
+		pass.Report(analysis.Diagnostic{
+			Pos: e.Pos, Analyzer: pass.Analyzer.Name, Category: pass.Analyzer.Key(),
+			Message: "lock class \"" + e.To + "\" acquired while \"" + e.From +
+				"\" is held; this nesting is not declared (//samlint:lockorder " +
+				e.From + " < " + e.To + ", or restructure to honor the lock hierarchy)",
+		})
+	}
+
+	// Cycles in the union of declared and observed orderings: sort edges
+	// for determinism, then DFS.
+	type arc struct {
+		to  string
+		pos token.Pos
+	}
+	adj := make(map[string][]arc)
+	addArc := func(from, to string, pos token.Pos) {
+		adj[from] = append(adj[from], arc{to, pos})
+	}
+	for _, d := range decls {
+		addArc(d.From, d.To, d.Pos)
+	}
+	for _, e := range edges {
+		addArc(e.From, e.To, e.Pos)
+	}
+	nodes := make([]string, 0, len(adj))
+	for n := range adj {
+		sort.Slice(adj[n], func(i, j int) bool { return adj[n][i].to < adj[n][j].to })
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make(map[string]int)
+	reported := make(map[string]bool) // one report per cycle-participating class set
+	var stack []string
+	var dfs func(n string)
+	dfs = func(n string) {
+		color[n] = grey
+		stack = append(stack, n)
+		for _, a := range adj[n] {
+			switch color[a.to] {
+			case white:
+				dfs(a.to)
+			case grey:
+				// Found a back arc: the cycle is the stack suffix from a.to.
+				i := len(stack) - 1
+				for i >= 0 && stack[i] != a.to {
+					i--
+				}
+				cyc := append(append([]string{}, stack[i:]...), a.to)
+				key := strings.Join(cyc, "<")
+				if !reported[key] {
+					reported[key] = true
+					pass.Report(analysis.Diagnostic{
+						Pos: a.pos, Analyzer: pass.Analyzer.Name, Category: pass.Analyzer.Key(),
+						Message: "lock-order cycle: " + strings.Join(cyc, " < ") +
+							" (two goroutines interleaving these acquisitions can deadlock)",
+					})
+				}
+			}
+		}
+		stack = stack[:len(stack)-1]
+		color[n] = black
+	}
+	for _, n := range nodes {
+		if color[n] == white {
+			dfs(n)
+		}
+	}
+	return nil
+}

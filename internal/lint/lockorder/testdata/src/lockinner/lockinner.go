@@ -1,0 +1,30 @@
+// Package lockinner is the dependency half of the cross-package
+// lockorder fixture: its methods acquire annotated locks, and the
+// acquires facts exported here are what make the violation in the
+// importing package (lockouter) visible at all.
+package lockinner
+
+import "sync"
+
+// Gadget's lock is never declared to nest under anything.
+type Gadget struct {
+	mu sync.Mutex //samlint:lockclass li.gadget
+}
+
+// Touch acquires the gadget lock; importers see this only through the
+// exported acquires fact.
+func (g *Gadget) Touch() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+}
+
+// Meter's lock is declared (in lockouter) to nest under the holder lock.
+type Meter struct {
+	mu sync.Mutex //samlint:lockclass li.meter
+}
+
+// Bump acquires the meter lock.
+func (m *Meter) Bump() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+}

@@ -1,0 +1,34 @@
+// Package lockouter holds locks across calls into lockinner. Neither
+// package contains a violation on its own — the undeclared nesting in
+// Poke only exists because lockinner.Touch's acquires fact crosses the
+// package boundary.
+package lockouter
+
+import (
+	"sync"
+
+	"lockinner"
+)
+
+type Holder struct {
+	mu sync.Mutex //samlint:lockclass lo.holder
+}
+
+//samlint:lockorder lo.holder < li.meter -- metering under the holder lock is part of the design
+
+// MeterUnder nests li.meter under lo.holder via a cross-package call —
+// declared above, so clean.
+func (h *Holder) MeterUnder(m *lockinner.Meter) {
+	h.mu.Lock()
+	m.Bump()
+	h.mu.Unlock()
+}
+
+// Poke nests li.gadget under lo.holder the same way, but no directive
+// declares that order. The acquisition is invisible without the
+// imported fact: this file never mentions a gadget mutex.
+func (h *Holder) Poke(g *lockinner.Gadget) {
+	h.mu.Lock()
+	g.Touch() // want "not declared"
+	h.mu.Unlock()
+}

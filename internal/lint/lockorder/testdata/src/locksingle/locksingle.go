@@ -1,0 +1,82 @@
+// Package locksingle exercises lockorder's single-package checks:
+// declared nestings pass, undeclared nestings and self-nestings are
+// reported, and the declared∪observed graph is checked for cycles.
+package locksingle
+
+import "sync"
+
+type A struct {
+	mu sync.Mutex //samlint:lockclass ls.a
+}
+
+type B struct {
+	mu sync.Mutex //samlint:lockclass ls.b
+}
+
+// Annotating a non-mutex is itself a diagnostic.
+type C struct {
+	n int //samlint:lockclass ls.bogus // want "not a sync.Mutex"
+}
+
+//samlint:lockorder ls.a < ls.b -- the declared hierarchy for this fixture
+
+//samlint:lockorder ls.a ls.b // want "malformed"
+
+// Declared nests ls.b under ls.a, which the directive above permits.
+func Declared(a *A, b *B) {
+	a.mu.Lock()
+	b.mu.Lock()
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// Undeclared nests ls.a under ls.b: no directive declares that order,
+// and together with the declared ls.a < ls.b it closes a deadlock cycle.
+func Undeclared(a *A, b *B) {
+	b.mu.Lock()
+	a.mu.Lock() // want "not declared" "lock-order cycle"
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// SelfNest holds two instances of the same class at once, which is its
+// own (undeclared) ordering question — and a one-class cycle.
+func SelfNest(a, a2 *A) {
+	a.mu.Lock()
+	a2.mu.Lock() // want "self-nesting" "lock-order cycle"
+	a2.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// lockB acquires ls.b; callers inherit it through the acquires summary.
+func lockB(b *B) {
+	b.mu.Lock()
+	b.mu.Unlock()
+}
+
+// Indirect nests ls.b under ls.a through a call — declared, so clean.
+func Indirect(a *A, b *B) {
+	a.mu.Lock()
+	lockB(b)
+	a.mu.Unlock()
+}
+
+// Released drops the outer lock before acquiring the inner one: no
+// nesting, no edge.
+func Released(a *A, b *B) {
+	b.mu.Lock()
+	b.mu.Unlock()
+	a.mu.Lock()
+	a.mu.Unlock()
+}
+
+// Spawned acquires inside a goroutine, which runs on its own stack: the
+// creator's held set does not apply.
+func Spawned(a *A, b *B) {
+	b.mu.Lock()
+	go func() {
+		a.mu.Lock()
+		a.mu.Unlock()
+	}()
+	b.mu.Unlock()
+}

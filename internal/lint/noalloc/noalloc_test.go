@@ -1,0 +1,12 @@
+package noalloc_test
+
+import (
+	"testing"
+
+	"samft/internal/lint/linttest"
+	"samft/internal/lint/noalloc"
+)
+
+func TestNoAlloc(t *testing.T) {
+	linttest.Run(t, noalloc.Analyzer)
+}

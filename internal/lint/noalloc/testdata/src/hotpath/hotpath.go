@@ -1,0 +1,80 @@
+// Package hotpath exercises the noalloc analyzer: every allocation kind
+// on a //samlint:hotpath root is reported, transitive callees are
+// included, and the three escape hatches (cold error/panic paths,
+// //samlint:coldpath callees, //samlint:allow) all hold.
+package hotpath
+
+import "fmt"
+
+type ring struct {
+	buf []int
+}
+
+//samlint:hotpath
+func Hot(r *ring, v int, s string) {
+	r.buf = append(r.buf, v) // want "append"
+	m := make([]byte, 8)     // want "make"
+	_ = m
+	p := &ring{} // want "composite literal"
+	_ = p
+	f := func() {} // want "function literal"
+	_ = f
+	_ = s + "x"     // want "string concatenation"
+	_ = []byte(s)   // want "string conversion"
+	_ = []int{1, 2} // want "slice/map literal"
+	fmt.Println(v)  // want "call to fmt.Println" "boxes the value"
+	sink(v)         // want "boxes the value"
+	helper(r)       // the callee's own site is reported, at its position
+	go helper(r)    // want "go statement"
+}
+
+// helper is not annotated, but Hot reaches it: its allocation counts
+// against Hot's budget and is reported where it happens.
+func helper(r *ring) {
+	r.buf = append(r.buf, 1) // want "append"
+}
+
+func sink(v interface{}) {}
+
+// HotCold's allocations all sit on cold paths: an err != nil guard, a
+// body that returns a fresh error, and a body that panics.
+//
+//samlint:hotpath
+func HotCold(r *ring, err error) error {
+	if err != nil {
+		return fmt.Errorf("wrap: %w", err)
+	}
+	if len(r.buf) == 0 {
+		return fmt.Errorf("empty ring")
+	}
+	if cap(r.buf) > 1<<20 {
+		panic(fmt.Sprint("oversized ring"))
+	}
+	return nil
+}
+
+// buildTable is one-time amortized work: hot callers may reach it, but
+// its allocations do not count against their budgets.
+//
+//samlint:coldpath the table is built once and cached
+func buildTable() []int {
+	return make([]int, 100)
+}
+
+//samlint:hotpath
+func HotLazy(r *ring) {
+	if r.buf == nil {
+		r.buf = buildTable()
+	}
+}
+
+//samlint:hotpath
+func HotAllowed(r *ring) {
+	//samlint:allow noalloc -- warm-up growth is amortized to zero
+	r.buf = append(r.buf, 0)
+}
+
+// Cold is never reached from a hotpath root: it may allocate freely.
+func Cold() []int {
+	return make([]int, 4)
+}

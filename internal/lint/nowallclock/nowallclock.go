@@ -20,17 +20,21 @@ import (
 var Analyzer = &analysis.Analyzer{
 	Name:     "nowallclock",
 	Category: "wallclock",
-	Doc: "forbid time.Now/Since/Sleep/Until/Tick and global math/rand " +
-		"in deterministic packages; use modeled time and xrand instead",
+	Doc: "forbid time.Now/Since/Sleep/Until/Tick/After/AfterFunc and " +
+		"global math/rand in deterministic packages; use modeled time and " +
+		"xrand instead",
 	Run: run,
 }
 
 // bannedTime lists the time-package functions that read or wait on the
-// host clock. Timer and ticker constructors (After, NewTimer, NewTicker)
-// stay legal: harness code needs real timeouts, and they never leak a
-// timestamp into simulation state.
+// host clock. After and AfterFunc are banned too: each schedules a
+// wall-clock deadline the simulation cannot replay (and After leaks its
+// timer until it fires). The explicit constructors NewTimer and
+// NewTicker stay legal — harness code needs real, stoppable timeouts,
+// and a constructed timer never leaks a timestamp into simulation state.
 var bannedTime = map[string]bool{
 	"Now": true, "Since": true, "Sleep": true, "Until": true, "Tick": true,
+	"After": true, "AfterFunc": true,
 }
 
 func run(pass *analysis.Pass) error {

@@ -24,8 +24,8 @@ func badRand() int {
 	return rand.Intn(8) // want "math/rand.Intn"
 }
 
-// okTimer: After/NewTimer/NewTicker are legal — harness timeouts never
-// leak a timestamp into simulation state.
+// okTimer: the explicit constructors NewTimer/NewTicker are legal —
+// harness timeouts never leak a timestamp into simulation state.
 func okTimer(timeout time.Duration) bool {
 	tm := time.NewTimer(timeout)
 	defer tm.Stop()
@@ -37,6 +37,17 @@ func okTimer(timeout time.Duration) bool {
 	case <-tick.C:
 		return true
 	}
+}
+
+// badAfter: time.After schedules an unstoppable wall-clock deadline (and
+// leaks the timer until it fires); use NewTimer + Stop.
+func badAfter(timeout time.Duration) {
+	<-time.After(timeout) // want "wall-clock time.After"
+}
+
+// badAfterFunc: time.AfterFunc fires a callback off the host clock.
+func badAfterFunc(f func()) {
+	time.AfterFunc(time.Second, f) // want "wall-clock time.AfterFunc"
 }
 
 // allowedNow: an annotated wall-clock read is suppressed.

@@ -1,0 +1,18 @@
+package staleallow_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"samft/internal/lint/linttest"
+	"samft/internal/lint/nowallclock"
+	"samft/internal/lint/staleallow"
+)
+
+// TestStaleAllow runs staleallow alongside the analyzer whose
+// suppressions it audits: a directive is only provably stale relative
+// to the suite that ran before it.
+func TestStaleAllow(t *testing.T) {
+	linttest.RunSuite(t, filepath.Join("testdata", "src"),
+		nowallclock.Analyzer, staleallow.Analyzer)
+}

@@ -1,0 +1,24 @@
+// Package stale exercises the staleallow pass, which runs after the
+// rest of the suite and audits //samlint:allow directives: one that
+// suppressed a real finding is fine, one that suppressed nothing is
+// stale, and one naming an unknown analyzer is a typo.
+package stale
+
+import "time"
+
+// Allowed really does trip nowallclock, so its directive is used.
+func Allowed() time.Time {
+	return time.Now() //samlint:allow wallclock -- host-side timestamp, fixture-sanctioned
+}
+
+// Stale carries a directive with nothing left to suppress.
+func Stale() int {
+	//samlint:allow wallclock -- nothing here touches the clock // want "suppresses nothing"
+	return 1
+}
+
+// Typo names an analyzer that is not in the suite.
+func Typo() int {
+	//samlint:allow frobnicate -- no analyzer has this name // want "names no analyzer"
+	return 2
+}

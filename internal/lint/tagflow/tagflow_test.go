@@ -1,0 +1,12 @@
+package tagflow_test
+
+import (
+	"testing"
+
+	"samft/internal/lint/linttest"
+	"samft/internal/lint/tagflow"
+)
+
+func TestTagFlow(t *testing.T) {
+	linttest.Run(t, tagflow.Analyzer)
+}

@@ -174,10 +174,13 @@ type Network struct {
 	// every Send and Lookup.
 	routes atomic.Pointer[routeTable]
 
-	// mu guards registration, the watcher sets, and shutdown. It is a
-	// leaf lock: no Endpoint mutex is ever taken while it is held (see
-	// the package lock-order note).
-	mu      sync.Mutex
+	// mu guards registration, the watcher sets, and shutdown. No
+	// Endpoint mutex is ever taken while it is held (see the package
+	// lock-order note); the one lock acquired under it is the tracer's,
+	// when registration creates the endpoint's trace track:
+	//
+	//samlint:lockorder netsim.network < trace.tracer -- NewEndpoint creates the trace track under mu
+	mu      sync.Mutex //samlint:lockclass netsim.network
 	nextTID TID
 	// watchers maps a watched TID to the set of endpoints that asked to be
 	// notified when it dies (pvm_notify).
@@ -306,6 +309,12 @@ func (n *Network) Notify(watcher, target TID, tag int) {
 // Killing an already-dead or unknown TID is a safe no-op. The return value
 // reports whether this call actually killed a live endpoint (the chaos
 // runner uses it to tell injected failures from no-ops).
+//
+// Kill is reachable from the Send hot path through chaos triggers, but
+// fires at most once per endpoint per run — a rare event, not a
+// per-message cost, so noalloc treats the whole fan-out as cold.
+//
+//samlint:coldpath kill fan-out runs at most once per endpoint
 func (n *Network) Kill(tid TID, notifyTag int) bool {
 	n.mu.Lock()
 	e := n.route(tid)

@@ -366,6 +366,11 @@ func (p *Proc) handleMessage(m netsim.Message) {
 		}
 		return
 	}
+	if m.Tag != TagSAM {
+		// The runtime receives with AnyTag; anything that is neither an
+		// exit notification nor a SAM frame is not ours to decode.
+		return
+	}
 	w, err := decodeWire(m.Payload)
 	if err != nil {
 		// A corrupt frame is dropped like a line error; the protocol's
